@@ -1,0 +1,36 @@
+"""Ablation — server distillation budget (epochs × data source).
+
+Eq. 4 distils on "unlabeled data, generative data, or public data"; this
+sweep varies how much distillation the server performs per round, including
+none (pure weight-average fusion) as the lower anchor.
+"""
+
+import pytest
+
+from repro.experiments.figures import sparkline
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_distill_budget(benchmark, runner, save_result):
+    def run_all():
+        out = {
+            "no distillation (wavg)": runner.run(
+                "fedkemf", "resnet-20", setting="30", fusion="weight-average", seed=0
+            )
+        }
+        for epochs in (1, 3):
+            out[f"distill epochs={epochs}"] = runner.run(
+                "fedkemf", "resnet-20", setting="30", distill_epochs=epochs, seed=0
+            )
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Ablation — server distillation budget (FedKEMF, resnet-20)"]
+    for label, h in out.items():
+        accs = h.accuracies
+        lines.append(f"  {label:24s} {sparkline(accs)} final={accs[-1]:.2%} best={accs.max():.2%}")
+    save_result("ablation_distill", "\n".join(lines))
+
+    for label, h in out.items():
+        assert h.best_accuracy > 0.15, f"{label} never learned"

@@ -1,0 +1,32 @@
+"""Ablation — deep-mutual-learning coupling strength (λ, Alg. 1).
+
+λ = 0 removes knowledge extraction entirely (knowledge net trains solo);
+the paper uses λ = 1. This ablation probes the design choice DESIGN.md §5
+calls out.
+"""
+
+import pytest
+
+from repro.experiments.figures import sparkline
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_dml_coupling(benchmark, runner, save_result):
+    weights = (0.0, 0.5, 1.0, 2.0)
+
+    def run_all():
+        return {
+            w: runner.run("fedkemf", "resnet-32", setting="30", kl_weight=w, seed=0)
+            for w in weights
+        }
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Ablation — DML coupling weight λ (FedKEMF, resnet-32 locals)"]
+    for w, h in out.items():
+        accs = h.accuracies
+        lines.append(f"  λ={w:<4} {sparkline(accs)} final={accs[-1]:.2%} best={accs.max():.2%}")
+    save_result("ablation_dml", "\n".join(lines))
+
+    for w, h in out.items():
+        assert h.best_accuracy > 0.15, f"λ={w} never learned"

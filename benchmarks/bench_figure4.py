@@ -1,0 +1,48 @@
+"""Figure 4 — top-1 accuracy vs communication rounds.
+
+Panels mirror the paper: 2-layer CNN on MNIST plus VGG-11 / ResNet-20 /
+ResNet-32 on CIFAR-10, FedKEMF against FedAvg / FedProx / FedNova /
+SCAFFOLD. Runs are shared with the Table 1/2 benches via the session runner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "fedkemf")
+
+PANELS = (
+    ("mnist", "cnn-2", "30"),
+    ("cifar10", "vgg-11", "30"),
+    ("cifar10", "resnet-20", "30"),
+    ("cifar10", "resnet-32", "30"),
+)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4(benchmark, runner, save_result):
+    out = benchmark.pedantic(
+        lambda: figures.figure4(runner, methods=METHODS, panels=PANELS),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        figures.render_series_panel(title, series) for title, series in out.items()
+    )
+    save_result("figure4", "Figure 4 — accuracy vs communication rounds\n" + text)
+
+    # Shape: every method trains (well above 10-class chance by the end on
+    # at least one late-round reading).
+    for title, series in out.items():
+        for method, accs in series.items():
+            assert np.max(accs) > 0.15, f"{method} never left chance level on {title}"
+
+    # Shape: on the over-parameterized VGG-11 panel FedKEMF is competitive
+    # with the typical baseline (paper: it wins with a large margin; at
+    # smoke scale individual baselines spike with round noise, so compare
+    # against the baseline median).
+    vgg_series = out["vgg-11@cifar10 (clients=30)"]
+    kemf_best = float(np.max(vgg_series["FedKEMF"]))
+    baseline_bests = [float(np.max(v)) for k, v in vgg_series.items() if k != "FedKEMF"]
+    assert kemf_best > float(np.median(baseline_bests)) - 0.05

@@ -1,0 +1,26 @@
+"""Figure 5 — convergence accuracy comparison (higher is better)."""
+
+import pytest
+
+from repro.experiments import figures
+
+METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "fedkemf")
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark, runner, save_result):
+    out = benchmark.pedantic(
+        lambda: figures.figure5(runner, methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        figures.render_bars(title, bars, unit="") for title, bars in out.items()
+    )
+    save_result("figure5", "Figure 5 — convergence accuracy overhead\n" + text)
+
+    for title, bars in out.items():
+        assert all(0.0 <= v <= 1.0 for v in bars.values())
+        # Shape: the spread across methods is meaningful (the figure is a
+        # comparison, not a flat line).
+        assert max(bars.values()) > 0.2

@@ -1,0 +1,28 @@
+"""Figure 6 — communication rounds to reach target accuracy (lower better)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "fedkemf")
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6(benchmark, runner, save_result):
+    out = benchmark.pedantic(
+        lambda: figures.figure6(runner, methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = []
+    for title, bars in out.items():
+        rendered.append(figures.render_bars(title, bars, unit=" rounds"))
+    save_result("figure6", "Figure 6 — rounds to target accuracy\n" + "\n\n".join(rendered))
+
+    # Shape: at least one method reaches the target on each panel, and all
+    # reported round counts are within the budget.
+    for title, bars in out.items():
+        reached = [v for v in bars.values() if v is not None]
+        assert reached, f"no method reached the target on {title}"
+        assert all(1 <= v <= runner.scale.rounds for v in reached)

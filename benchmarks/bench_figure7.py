@@ -1,0 +1,39 @@
+"""Figure 7 — FedKEMF stability across FL settings.
+
+Sweeps federation size × sample ratio × Dirichlet α and records the
+late-run accuracy fluctuation; the paper's claim is a stable optimizing
+process as heterogeneity and scale grow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7(benchmark, runner, save_result):
+    entries = benchmark.pedantic(
+        lambda: figures.figure7(
+            runner,
+            model="resnet-20",
+            settings=("30", "50"),
+            ratios=(0.4, 0.7),
+            alphas=(0.1, 1.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Figure 7 — FedKEMF under different FL settings"]
+    for e in entries:
+        lines.append(
+            f"  {e.label:38s} {figures.sparkline(e.accuracies)} "
+            f"final={e.final:.2%} tail_std={e.tail_std:.3f}"
+        )
+    save_result("figure7", "\n".join(lines))
+
+    # Shape: the optimization is stable in every setting — late-run
+    # fluctuation stays bounded and no run collapses to chance.
+    for e in entries:
+        assert e.tail_std < 0.12, f"unstable tail in {e.label}"
+        assert float(np.max(e.accuracies)) > 0.15, f"no learning in {e.label}"

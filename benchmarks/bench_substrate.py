@@ -1,0 +1,122 @@
+"""Substrate micro-benchmarks: the NumPy DL engine's hot paths.
+
+These are conventional pytest-benchmark timings (many iterations) — they
+track the throughput of the kernels every experiment above is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import ensemble_logits
+from repro.nn import functional as F
+from repro.nn.models import resnet20, vgg11
+from repro.nn.serialization import dumps_state_dict, loads_state_dict, average_states
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def conv_input():
+    return Tensor(np.random.default_rng(0).standard_normal((32, 3, 16, 16)).astype(np.float32))
+
+
+@pytest.fixture(scope="module")
+def small_resnet():
+    return resnet20(seed=0, width_mult=0.25)
+
+
+@pytest.mark.benchmark(group="substrate-forward")
+def test_resnet20_forward(benchmark, small_resnet, conv_input):
+    small_resnet.eval()
+    from repro.nn import no_grad
+
+    def fwd():
+        with no_grad():
+            return small_resnet(conv_input)
+
+    benchmark(fwd)
+
+
+@pytest.mark.benchmark(group="substrate-backward")
+def test_resnet20_forward_backward(benchmark, small_resnet, conv_input):
+    labels = np.random.default_rng(1).integers(0, 10, 32)
+    small_resnet.train()
+
+    def step():
+        small_resnet.zero_grad()
+        loss = F.cross_entropy(small_resnet(conv_input), labels)
+        loss.backward()
+        return loss
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="substrate-ops")
+def test_conv2d_kernel(benchmark):
+    x = Tensor(np.random.default_rng(0).standard_normal((32, 16, 16, 16)).astype(np.float32))
+    w = Tensor(np.random.default_rng(1).standard_normal((32, 16, 3, 3)).astype(np.float32))
+    benchmark(lambda: F.conv2d(x, w, stride=1, padding=1))
+
+
+@pytest.mark.benchmark(group="substrate-ops")
+def test_batchnorm_kernel(benchmark):
+    x = Tensor(np.random.default_rng(0).standard_normal((32, 16, 16, 16)).astype(np.float32))
+    gamma = Tensor(np.ones(16, dtype=np.float32), requires_grad=True)
+    beta = Tensor(np.zeros(16, dtype=np.float32), requires_grad=True)
+    rm = np.zeros(16, dtype=np.float32)
+    rv = np.ones(16, dtype=np.float32)
+    benchmark(lambda: F.batch_norm2d(x, gamma, beta, rm, rv, training=True))
+
+
+@pytest.mark.benchmark(group="substrate-ops")
+def test_softmax_xent(benchmark):
+    logits = Tensor(np.random.default_rng(0).standard_normal((256, 10)).astype(np.float32), requires_grad=True)
+    labels = np.random.default_rng(1).integers(0, 10, 256)
+    benchmark(lambda: F.cross_entropy(logits, labels))
+
+
+@pytest.mark.benchmark(group="substrate-comm")
+def test_serialize_resnet20_paper_width(benchmark):
+    sd = resnet20(seed=0).state_dict()
+    payload = benchmark(lambda: dumps_state_dict(sd))
+    assert 1.05e6 < len(payload) < 1.15e6  # the paper's ~1.05 MB knowledge net
+
+
+@pytest.mark.benchmark(group="substrate-comm")
+def test_deserialize_resnet20(benchmark):
+    payload = dumps_state_dict(resnet20(seed=0).state_dict())
+    benchmark(lambda: loads_state_dict(payload))
+
+
+@pytest.mark.benchmark(group="substrate-comm")
+def test_fedavg_aggregation_kernel(benchmark):
+    states = [resnet20(seed=s, width_mult=0.5).state_dict() for s in range(8)]
+    weights = list(np.random.default_rng(0).uniform(1, 10, 8))
+    benchmark(lambda: average_states(states, weights))
+
+
+@pytest.mark.benchmark(group="substrate-ensemble")
+def test_ensemble_max_kernel(benchmark):
+    stacked = np.random.default_rng(0).standard_normal((16, 1024, 10)).astype(np.float32)
+    benchmark(lambda: ensemble_logits(stacked, "max"))
+
+
+@pytest.mark.benchmark(group="substrate-ensemble")
+def test_ensemble_vote_kernel(benchmark):
+    stacked = np.random.default_rng(0).standard_normal((16, 1024, 10)).astype(np.float32)
+    benchmark(lambda: ensemble_logits(stacked, "vote"))
+
+
+@pytest.mark.benchmark(group="substrate-payloads")
+def test_payload_size_ratios(benchmark):
+    """The static quantity behind Table 1: VGG-11 / ResNet-20 payload ratio."""
+
+    def sizes():
+        return (
+            vgg11(seed=0).num_bytes(),
+            resnet20(seed=0).num_bytes(),
+        )
+
+    vgg_b, r20_b = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    ratio = vgg_b / r20_b
+    # paper: 42 MB vs 2.1 MB per round → 20x; fp32 payloads give ~33x
+    assert ratio > 15, f"VGG/knowledge payload ratio collapsed: {ratio:.1f}"

@@ -1,0 +1,69 @@
+"""System-efficiency bench (resource-aware story): straggler analysis.
+
+The paper argues that deploying one uniform model across heterogeneous
+devices "limits the FL system's computational overhead" — the slow tier
+gates every synchronous round. This bench quantifies that with the measured
+FLOPs of the real models and the simulated device fleet: uniform ResNet-44
+vs the resource-matched ResNet-20/32/44 plan, both communicating only the
+knowledge network.
+"""
+
+import pytest
+
+from repro.core.resource import local_model_builders, plan_multi_model
+from repro.fl.latency import simulate_epoch_times
+from repro.nn.models import build_model
+from repro.nn.serialization import dumps_state_dict
+
+
+@pytest.mark.benchmark(group="system")
+def test_straggler_mitigation(benchmark, runner, save_result):
+    scale = runner.scale
+    n = scale.clients_for("50")
+    image = scale.image_size
+    width = scale.width_for("resnet-20")
+    shard = [scale.n_train // n] * n
+    payload = len(
+        dumps_state_dict(
+            build_model("resnet-20", image_size=image, width_mult=width, seed=0).state_dict()
+        )
+    )
+
+    def simulate():
+        plan = plan_multi_model(n, image_size=image, width_mult=width, seed=0)
+        matched_models = [fn() for fn in local_model_builders(plan, image_size=image, width_mult=width, seed=0)]
+        uniform_models = [
+            build_model("resnet-44", image_size=image, width_mult=width, seed=s)
+            for s in range(n)
+        ]
+        kwargs = dict(
+            samples_per_client=shard,
+            batch_size=scale.batch_size,
+            local_epochs=scale.local_epochs,
+            batch_input_shape=(scale.batch_size, 3, image, image),
+            payload_bytes=2 * payload,
+        )
+        return (
+            simulate_epoch_times(uniform_models, plan.profiles, **kwargs),
+            simulate_epoch_times(matched_models, plan.profiles, **kwargs),
+            plan,
+        )
+
+    uniform, matched, plan = benchmark.pedantic(simulate, rounds=1, iterations=1)
+
+    lines = [
+        "System efficiency — simulated synchronous round times",
+        f"fleet: {plan.count_by_model()} over tiers "
+        f"{sorted(set(p.name for p in plan.profiles))}",
+        f"  uniform resnet-44 : straggler {uniform.straggler_s:8.2f}s  "
+        f"mean {uniform.mean_s:8.2f}s  utilization {uniform.utilization:.2f}",
+        f"  resource-matched  : straggler {matched.straggler_s:8.2f}s  "
+        f"mean {matched.mean_s:8.2f}s  utilization {matched.utilization:.2f}",
+        f"  straggler speed-up: {uniform.straggler_s / matched.straggler_s:.2f}x",
+    ]
+    save_result("system_efficiency", "\n".join(lines))
+
+    # Shape: matching models to devices shortens the synchronous round and
+    # raises fleet utilization.
+    assert matched.straggler_s < uniform.straggler_s
+    assert matched.utilization > uniform.utilization

@@ -1,0 +1,37 @@
+"""Table 2 — communication cost to model convergence.
+
+Trains each (method, model, setting) to convergence and compares total
+bytes, converge rounds and converge accuracy against FedAvg.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_grid
+from repro.experiments import tables
+
+SETTINGS = ("30", "50", "100") if full_grid() else ("30",)
+METHODS = ("fedavg", "fednova", "fedprox", "fedkemf")
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark, runner, save_result):
+    entries = benchmark.pedantic(
+        lambda: tables.compute_table2(runner, methods=METHODS, settings=SETTINGS),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2", tables.render_table2(entries))
+
+    by = {(e.method, e.model, e.setting): e for e in entries}
+
+    # Shape: FedKEMF's round cost on vgg-11 is the knowledge network's, so
+    # its speed-up on the big model dwarfs its speed-up on resnet-20
+    # (paper: 17.07x vs 0.84x at 30 clients).
+    kemf_vgg = by[("FedKEMF", "vgg-11", "30")]
+    kemf_r20 = by[("FedKEMF", "resnet-20", "30")]
+    assert kemf_vgg.round_cost_mb < by[("FedAvg", "vgg-11", "30")].round_cost_mb / 3
+
+    # Shape: FedKEMF stays accuracy-competitive on the over-parameterized
+    # model (paper reports it winning; at smoke scale we require parity
+    # within 10 points while moving >3x fewer bytes).
+    assert kemf_vgg.converge_acc > by[("FedAvg", "vgg-11", "30")].converge_acc - 0.10

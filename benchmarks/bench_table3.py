@@ -1,0 +1,34 @@
+"""Table 3 — multi-model federated learning.
+
+Baselines train a single ResNet-20 for everyone; FedKEMF trains the
+heterogeneous ResNet-20/32/44 pool assigned by device resources. The metric
+is average per-client local-test accuracy.
+"""
+
+import pytest
+
+from repro.experiments import tables
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3(benchmark, runner, save_result):
+    entries = benchmark.pedantic(
+        lambda: tables.compute_table3(
+            runner, methods=("fedavg", "fednova", "fedprox", "fedkemf"), setting="50",
+            sample_ratio=0.5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table3", tables.render_table3(entries))
+
+    by = {e.method: e for e in entries}
+    # Shape (the paper's Table 3 claim): multi-model FedKEMF beats every
+    # single-model baseline on average local accuracy.
+    baselines = [v.average_acc for k, v in by.items() if k != "FedKEMF"]
+    assert by["FedKEMF"].average_acc > max(baselines), (
+        f"FedKEMF {by['FedKEMF'].average_acc:.2%} vs baselines "
+        f"{[f'{b:.2%}' for b in baselines]}"
+    )
+    # FedKEMF actually deployed multiple architectures.
+    assert by["FedKEMF"].model_desc.count(":") >= 2

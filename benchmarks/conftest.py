@@ -1,0 +1,49 @@
+"""Shared state for the benchmark suite.
+
+All experiment benches share one :class:`ExperimentRunner` so a run that
+appears in several tables/figures executes exactly once per session. Every
+bench writes its rendered output to ``benchmarks/results/<name>.txt`` —
+EXPERIMENTS.md is assembled from those artifacts.
+
+Scale is controlled by ``REPRO_SCALE`` (default ``smoke``); see
+``repro.experiments.configs``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write (and echo) a rendered table/figure artifact."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def full_grid() -> bool:
+    """Run all three federation settings instead of just the 30-client one."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"

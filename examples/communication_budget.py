@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Communication-budget study: accuracy per transmitted megabyte.
+
+The paper's Table 1 asks "how many bytes does each algorithm need to reach
+a target accuracy?" This example inverts the question for a deployment
+planner: given a hard uplink budget, which algorithm gets you the best
+model? It sweeps FedAvg / FedNova / FedProx / FedKEMF over a VGG-11
+federation and prints accuracy-at-budget curves.
+
+Run:  python examples/communication_budget.py
+"""
+
+import numpy as np
+
+from repro.core import FedKEMF
+from repro.data import build_federated_dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl import FedAvg, FedNova, FedProx, FLConfig
+from repro.nn.models import build_model
+
+IMAGE_SIZE = 8
+BUDGETS_MB = (2, 5, 10, 20, 40)
+
+
+def accuracy_at_budget(history, budget_mb: float) -> float:
+    """Best accuracy achieved before cumulative traffic passes the budget."""
+    best = 0.0
+    for rec in history.records:
+        if rec.cum_bytes > budget_mb * 1e6:
+            break
+        best = max(best, rec.accuracy)
+    return best
+
+
+def main() -> None:
+    world = SyntheticImageDataset(
+        SyntheticSpec(num_classes=10, channels=3, image_size=IMAGE_SIZE, noise_std=0.25),
+        seed=0,
+    )
+    fed = build_federated_dataset(
+        world, num_clients=10, n_train=1000, n_test=200, n_public=300, alpha=0.3, seed=0
+    )
+    cfg = FLConfig(rounds=14, sample_ratio=0.4, local_epochs=2, batch_size=20, lr=0.02, seed=0)
+
+    vgg_fn = lambda: build_model("vgg-11", in_channels=3, image_size=IMAGE_SIZE,
+                                 width_mult=0.125, seed=2)
+    knowledge_fn = lambda: build_model("resnet-20", in_channels=3, image_size=IMAGE_SIZE,
+                                       width_mult=0.25, seed=1)
+
+    runs = {
+        "FedAvg": FedAvg(vgg_fn, fed, cfg).run(),
+        "FedNova": FedNova(vgg_fn, fed, cfg).run(),
+        "FedProx": FedProx(vgg_fn, fed, cfg).run(),
+        "FedKEMF": FedKEMF(knowledge_fn, fed, cfg, local_model_fns=vgg_fn).run(),
+    }
+
+    print("best accuracy within an uplink+downlink budget (VGG-11 federation):\n")
+    header = "budget   " + "".join(f"{name:>9s}" for name in runs)
+    print(header)
+    for budget in BUDGETS_MB:
+        row = f"{budget:4d} MB "
+        for h in runs.values():
+            row += f"{accuracy_at_budget(h, budget):9.2%}"
+        print(row)
+
+    print("\nper-round cost per client:")
+    for name, h in runs.items():
+        print(f"  {name:8s} {h.round_cost_per_client_mb():6.3f} MB")
+    print("\nFedKEMF's curve saturates the budget axis first because each round")
+    print("ships the ResNet-20 knowledge network instead of VGG-11 weights.")
+
+
+if __name__ == "__main__":
+    main()

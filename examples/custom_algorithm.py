@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Extending the framework: write your own FL algorithm in ~30 lines.
+
+Implements "FedEMA" — FedAvg with a server-side exponential moving average —
+as a worked example of the :class:`repro.fl.FLAlgorithm` extension point:
+subclass, implement ``round``, and the framework supplies sampling, byte
+metering, evaluation and history for free.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro.data import build_federated_dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl import FedAvg, FLConfig
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.nn.models import build_model
+from repro.nn.serialization import average_states
+
+
+class FedEMA(FLAlgorithm):
+    """FedAvg with a momentum server: x ← (1−β)·x + β·avg(clients).
+
+    β = 1 recovers exact FedAvg; smaller β damps round-to-round noise from
+    small client samples (a cheap stabilizer under non-IID sampling).
+    """
+
+    name = "FedEMA"
+    beta = 0.5
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        global_state = self.global_model.state_dict()
+        states, weights = [], []
+        for cid in selected:
+            local_state = self.channel.download(cid, global_state)
+            self._scratch.load_state_dict(local_state)
+            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+            states.append(self.channel.upload(cid, self._scratch.state_dict(copy=False)))
+            weights.append(float(len(self.fed.client_train[cid])))
+        avg = average_states(states, weights)
+        blended = {
+            k: ((1 - self.beta) * global_state[k].astype(np.float64) + self.beta * avg[k])
+            .astype(global_state[k].dtype)
+            for k in avg
+        }
+        self.global_model.load_state_dict(blended)
+
+
+# registering makes the new algorithm available to the experiment runner
+if "fedema" not in ALGORITHM_REGISTRY:
+    ALGORITHM_REGISTRY.add("fedema", FedEMA)
+
+
+def main() -> None:
+    world = SyntheticImageDataset(
+        SyntheticSpec(num_classes=10, channels=3, image_size=8, noise_std=0.25), seed=0
+    )
+    fed = build_federated_dataset(
+        world, num_clients=8, n_train=800, n_test=200, n_public=200, alpha=0.3, seed=0
+    )
+    cfg = FLConfig(rounds=10, sample_ratio=0.4, local_epochs=2, batch_size=20, lr=0.02, seed=0)
+    model_fn = lambda: build_model("cnn-2", in_channels=3, image_size=8, width_mult=0.25, seed=1)
+
+    h_avg = FedAvg(model_fn, fed, cfg).run()
+    h_ema = FedEMA(model_fn, fed, cfg).run()
+
+    print("round  FedAvg    FedEMA")
+    for a, e in zip(h_avg.records, h_ema.records):
+        print(f"{a.round_idx:5d}  {a.accuracy:7.2%}  {e.accuracy:7.2%}")
+    print(f"\nsame wire cost ({h_avg.total_bytes == h_ema.total_bytes}), different server update.")
+    print("Subclassing FLAlgorithm gave FedEMA metering/eval/history for free.")
+
+
+if __name__ == "__main__":
+    main()

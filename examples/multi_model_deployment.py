@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multi-model federated learning across heterogeneous edge devices.
+
+Reproduces the Table 3 scenario as an application: a fleet of simulated
+devices with different memory/compute budgets each receives the largest
+model it can hold (ResNet-20/32/44), and FedKEMF trains them all in a
+single federation by exchanging only the shared knowledge network.
+A FedAvg baseline is restricted to the one model every device can hold.
+
+Run:  python examples/multi_model_deployment.py
+"""
+
+import numpy as np
+
+from repro.core import FedKEMF, local_model_builders, plan_multi_model
+from repro.data import build_federated_dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl import FedAvg, FLConfig
+from repro.nn.models import build_model
+
+IMAGE_SIZE = 8
+WIDTH = 0.25
+NUM_CLIENTS = 10
+
+
+def main() -> None:
+    world = SyntheticImageDataset(
+        SyntheticSpec(num_classes=10, channels=3, image_size=IMAGE_SIZE, noise_std=0.25),
+        seed=0,
+    )
+    fed = build_federated_dataset(
+        world, num_clients=NUM_CLIENTS, n_train=1000, n_test=200, n_public=300,
+        alpha=0.3, seed=0,
+    )
+
+    # Resource-aware planning: sample a device profile per client and map
+    # each to the largest ResNet tier that fits its memory budget.
+    plan = plan_multi_model(
+        NUM_CLIENTS, image_size=IMAGE_SIZE, width_mult=WIDTH, seed=0
+    )
+    print("device fleet:")
+    for i, (prof, model) in enumerate(zip(plan.profiles, plan.assignment)):
+        print(f"  client {i}: {prof.name:11s} ({prof.memory_mb:5.2f} MB budget) → {model}")
+    print(f"deployment mix: {plan.count_by_model()}")
+
+    cfg = FLConfig(
+        rounds=10, sample_ratio=0.5, local_epochs=2, batch_size=20, lr=0.02,
+        seed=0, eval_local=True,
+    )
+
+    knowledge_fn = lambda: build_model(
+        "resnet-20", in_channels=3, image_size=IMAGE_SIZE, width_mult=WIDTH, seed=1
+    )
+
+    # FedKEMF trains the heterogeneous pool; clients keep their own models.
+    builders = local_model_builders(plan, image_size=IMAGE_SIZE, width_mult=WIDTH, seed=0)
+    kemf = FedKEMF(knowledge_fn, fed, cfg, local_model_fns=builders).run()
+
+    # Baseline: everyone gets the lowest-common-denominator model.
+    base = FedAvg(knowledge_fn, fed, cfg).run()
+
+    k_local = kemf.local_accuracies
+    b_local = base.local_accuracies
+    print("\naverage per-client local accuracy (the Table 3 metric):")
+    print(f"  FedAvg  (resnet-20 everywhere): {np.nanmean(b_local[-3:]):.2%}")
+    print(f"  FedKEMF (resource-matched mix): {np.nanmean(k_local[-3:]):.2%}")
+    print("\nFedKEMF's edge models are personalized by deep mutual learning and")
+    print("sized to their devices — they never cross the wire.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Non-IID heterogeneity study: Dirichlet α and partitioner geometry.
+
+Demonstrates the data layer on its own: how the Dirichlet concentration α
+(the paper uses 0.1) shapes per-client label distributions, and how
+partition heterogeneity translates into FL difficulty for FedKEMF vs
+FedAvg.
+
+Run:  python examples/noniid_study.py
+"""
+
+import numpy as np
+
+from repro.core import FedKEMF
+from repro.data import build_federated_dataset, partition_report, DirichletPartitioner
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl import FedAvg, FLConfig
+from repro.nn.models import build_model
+
+IMAGE_SIZE = 8
+
+
+def show_partition(alpha: float, world) -> None:
+    train = world.sample(600, seed=1)
+    parts = DirichletPartitioner(6, alpha=alpha, seed=0)(train)
+    rep = partition_report(parts, num_classes=10)
+    print(f"\nDirichlet α={alpha}: shard sizes {rep['sizes'].tolist()}, "
+          f"mean TV-from-uniform {rep['mean_tv_from_uniform']:.2f}")
+    for i, hist in enumerate(rep["class_histograms"][:3]):
+        bars = "".join("▁▂▃▄▅▆▇█"[min(7, int(8 * h / max(1, hist.max())))] for h in hist)
+        print(f"  client {i} label histogram: {bars}")
+
+
+def final_accuracy(alpha: float, world) -> tuple[float, float]:
+    fed = build_federated_dataset(
+        world, num_clients=6, n_train=600, n_test=200, n_public=200, alpha=alpha, seed=0
+    )
+    cfg = FLConfig(rounds=8, sample_ratio=0.5, local_epochs=2, batch_size=20, lr=0.02, seed=0)
+    knowledge_fn = lambda: build_model("resnet-20", in_channels=3, image_size=IMAGE_SIZE,
+                                       width_mult=0.25, seed=1)
+    avg = FedAvg(knowledge_fn, fed, cfg).run()
+    kemf = FedKEMF(knowledge_fn, fed, cfg).run()
+    return avg.best_accuracy, kemf.best_accuracy
+
+
+def main() -> None:
+    world = SyntheticImageDataset(
+        SyntheticSpec(num_classes=10, channels=3, image_size=IMAGE_SIZE, noise_std=0.25),
+        seed=0,
+    )
+
+    print("=== how α shapes client label distributions ===")
+    for alpha in (0.1, 0.5, 5.0):
+        show_partition(alpha, world)
+
+    print("\n=== FL difficulty vs heterogeneity (8 rounds) ===")
+    print(f"{'α':>6s} {'FedAvg best':>12s} {'FedKEMF best':>13s}")
+    for alpha in (0.1, 0.5, 5.0):
+        a, k = final_accuracy(alpha, world)
+        print(f"{alpha:6.1f} {a:12.2%} {k:13.2%}")
+    print("\nsmaller α = fewer classes per client = harder federation for everyone;")
+    print("ensemble fusion keeps FedKEMF's optimization comparatively stable (Fig. 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: train FedKEMF on a synthetic non-IID CIFAR-10 federation.
+
+Walks the full public API in ~40 lines of logic:
+
+1. build a synthetic image world and partition it across clients with the
+   Dirichlet non-IID benchmark;
+2. pick a knowledge network (the tiny model that crosses the wire) and a
+   larger local model for the edge devices;
+3. run FedKEMF and compare against FedAvg on both accuracy and
+   communicated bytes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FedKEMF
+from repro.data import build_federated_dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl import FedAvg, FLConfig
+from repro.nn.models import build_model
+
+IMAGE_SIZE = 8  # CPU-friendly; raise to 32 with width_mult=1.0 for paper scale
+
+
+def main() -> None:
+    # 1. Data: a 10-class synthetic image world, split across 8 clients
+    #    with Dirichlet(0.3) label skew. The server keeps an unlabeled
+    #    public split for ensemble distillation.
+    world = SyntheticImageDataset(
+        SyntheticSpec(num_classes=10, channels=3, image_size=IMAGE_SIZE, noise_std=0.25),
+        seed=0,
+    )
+    fed = build_federated_dataset(
+        world, num_clients=8, n_train=800, n_test=200, n_public=300, alpha=0.3, seed=0
+    )
+    print(f"federation: {fed.num_clients} clients, shard sizes {fed.client_sizes().tolist()}")
+
+    # 2. Models: the knowledge network is what FedKEMF communicates
+    #    (ResNet-20 in the paper); the local model is what each device runs.
+    knowledge_fn = lambda: build_model(
+        "resnet-20", in_channels=3, image_size=IMAGE_SIZE, width_mult=0.25, seed=1
+    )
+    local_fn = lambda: build_model(
+        "vgg-11", in_channels=3, image_size=IMAGE_SIZE, width_mult=0.125, seed=2
+    )
+    print(f"knowledge net: {knowledge_fn().num_parameters():,} params")
+    print(f"local model:   {local_fn().num_parameters():,} params")
+
+    # 3. Train: identical config for both algorithms; the channel meters
+    #    every byte that crosses the client<->server boundary.
+    cfg = FLConfig(rounds=10, sample_ratio=0.5, local_epochs=2, batch_size=20, lr=0.02, seed=0)
+
+    fedavg = FedAvg(local_fn, fed, cfg).run()
+    fedkemf = FedKEMF(knowledge_fn, fed, cfg, local_model_fns=local_fn).run()
+
+    print("\nround  FedAvg-acc  FedKEMF-acc")
+    for a, k in zip(fedavg.records, fedkemf.records):
+        print(f"{a.round_idx:5d}  {a.accuracy:10.2%}  {k.accuracy:11.2%}")
+
+    ratio = fedavg.total_bytes / fedkemf.total_bytes
+    print(f"\ncommunication: FedAvg {fedavg.total_bytes/1e6:.1f} MB, "
+          f"FedKEMF {fedkemf.total_bytes/1e6:.1f} MB  ({ratio:.1f}x less)")
+    print("FedKEMF ships only the knowledge network — the VGG local models never leave the edge.")
+
+
+if __name__ == "__main__":
+    main()

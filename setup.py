@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The primary metadata lives in ``pyproject.toml``. This file exists so the
+package installs in environments without the ``wheel`` package (where PEP 660
+editable installs fail): ``python setup.py develop`` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""FedKEMF reproduction: resource-aware federated learning with knowledge
+extraction and multi-model fusion (SC 2023).
+
+This package is a self-contained reproduction of the FedKEMF system. It ships:
+
+- ``repro.nn`` — a from-scratch NumPy deep-learning library (reverse-mode
+  autograd, convolutional layers, optimizers, a CIFAR-style model zoo).
+- ``repro.data`` — synthetic image-classification datasets and the non-IID
+  Dirichlet federated partitioning benchmark.
+- ``repro.fl`` — a federated-learning simulation framework with exact
+  communication-byte accounting and the FedAvg / FedProx / FedNova / SCAFFOLD
+  / FedDF baselines.
+- ``repro.core`` — the paper's contribution: deep-mutual-learning knowledge
+  extraction, multi-model knowledge fusion, ensemble distillation, and
+  resource-aware model assignment.
+- ``repro.experiments`` — configs, runners and formatters that regenerate
+  every table and figure of the paper's evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,124 @@
+"""Ensemble strategies for multi-model knowledge fusion (paper Eq. 5).
+
+The server receives the knowledge networks {θ_g^k} of the sampled clients
+and forms an ensemble teacher Θ. The paper investigates three strategies —
+max logits, average logits and majority vote — and adopts max logits
+("the max logits get the best results in practice"). All three operate on a
+stacked logit tensor of shape (M, N, C): M member models, N samples,
+C classes.
+
+This module is dependency-light (NumPy + nn only) so both the FedDF baseline
+and FedKEMF can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.autograd import no_grad
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.registry import Registry
+
+__all__ = [
+    "ENSEMBLE_REGISTRY",
+    "ensemble_max",
+    "ensemble_mean",
+    "ensemble_vote",
+    "ensemble_logits",
+    "member_logits",
+    "collect_member_logits",
+    "EnsembleModule",
+]
+
+ENSEMBLE_REGISTRY: Registry = Registry("ensemble strategy")
+
+
+@ENSEMBLE_REGISTRY.register("max", "max-logits")
+def ensemble_max(stacked: np.ndarray) -> np.ndarray:
+    """Element-wise maximum over member logits (Eq. 5, the paper's choice)."""
+    return stacked.max(axis=0)
+
+
+@ENSEMBLE_REGISTRY.register("mean", "avg", "average-logits")
+def ensemble_mean(stacked: np.ndarray) -> np.ndarray:
+    """Average logits (the FedDF convention)."""
+    return stacked.mean(axis=0)
+
+
+@ENSEMBLE_REGISTRY.register("vote", "majority-vote")
+def ensemble_vote(stacked: np.ndarray) -> np.ndarray:
+    """Majority vote, returned as vote-count pseudo-logits.
+
+    Each member votes for its argmax class; the output entry (n, c) is the
+    number of votes class c received on sample n. Vote counts act as logits
+    for downstream distillation (softmax of counts = a soft vote share).
+    """
+    m, n, c = stacked.shape
+    votes = stacked.argmax(axis=2)  # (M, N)
+    counts = np.zeros((n, c), dtype=stacked.dtype)
+    np.add.at(counts, (np.arange(n)[None, :].repeat(m, 0).ravel(), votes.ravel()), 1.0)
+    return counts
+
+
+def ensemble_logits(stacked: np.ndarray, strategy: str = "max") -> np.ndarray:
+    """Apply a named strategy to stacked member logits (M, N, C) → (N, C)."""
+    stacked = np.asarray(stacked)
+    if stacked.ndim != 3:
+        raise ValueError(f"expected stacked logits of shape (M, N, C); got {stacked.shape}")
+    if stacked.shape[0] == 0:
+        raise ValueError("cannot ensemble zero members")
+    fn = ENSEMBLE_REGISTRY.get(strategy)
+    return fn(stacked)
+
+
+def member_logits(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """One member's logits over an array of inputs, computed in eval mode."""
+    was_training = model.training
+    model.eval()
+    outs = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            outs.append(model(Tensor(x[start : start + batch_size])).data)
+    if was_training:
+        model.train()
+    return np.concatenate(outs, axis=0)
+
+
+class EnsembleModule(Module):
+    """A prediction-level ensemble usable wherever a model is expected.
+
+    Wraps member models (possibly heterogeneous architectures) and fuses
+    their logits with a named strategy on each forward. Used to *evaluate*
+    ensembles (Fed-ensemble / FedMD-style systems whose "global model" is
+    the committee itself); it is not trainable through the fused output.
+    """
+
+    def __init__(self, members: Sequence[Module], strategy: str = "mean") -> None:
+        super().__init__()
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        from repro.nn.layers.container import ModuleList
+
+        self.members = ModuleList(list(members))
+        self.strategy = strategy
+        ENSEMBLE_REGISTRY.get(strategy)  # fail fast on unknown strategy
+
+    def forward(self, x: Tensor) -> Tensor:
+        stacked = np.stack([m(x).data for m in self.members], axis=0)
+        return Tensor(ensemble_logits(stacked, self.strategy))
+
+
+def collect_member_logits(
+    models: Sequence[Module], dataset: Dataset, batch_size: int = 256
+) -> np.ndarray:
+    """Stack logits of many member models over a dataset → (M, N, C).
+
+    Members are evaluated sequentially so only one activation set is alive
+    at a time (single-core memory discipline).
+    """
+    x, _ = dataset.arrays()
+    return np.stack([member_logits(m, x, batch_size) for m in models], axis=0)

@@ -1,0 +1,68 @@
+"""Server fusion of uploaded knowledge networks.
+
+FedKEMF "provides two model fusion methods": (1) traditional weight
+averaging of the knowledge networks, and (2) ensemble distillation into the
+global knowledge network (the mode evaluated in the paper). Both consume the
+same uploaded state dicts, so the choice is a config switch
+(``FLConfig.fusion``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.distill import DistillConfig, distill_to_student
+from repro.core.ensemble import ensemble_logits, member_logits
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+from repro.nn.serialization import average_states
+
+__all__ = ["fuse_weight_average", "fuse_ensemble_distill", "FUSION_MODES"]
+
+FUSION_MODES = ("weight-average", "ensemble-distill")
+
+
+def fuse_weight_average(
+    global_knowledge: Module,
+    client_states: Sequence[Mapping[str, np.ndarray]],
+    weights: Sequence[float] | None = None,
+) -> None:
+    """Fusion method 1: plain (weighted) averaging, FedAvg-style, in place."""
+    global_knowledge.load_state_dict(average_states(list(client_states), list(weights) if weights else None))
+
+
+def fuse_ensemble_distill(
+    global_knowledge: Module,
+    scratch: Module,
+    client_states: Sequence[Mapping[str, np.ndarray]],
+    weights: Sequence[float] | None,
+    public: Dataset,
+    strategy: str,
+    distill_config: DistillConfig,
+    init_from_average: bool = True,
+) -> float:
+    """Fusion method 2 (the paper's): ensemble then distill (Alg. 2).
+
+    Teacher logits for each member are computed by loading that member's
+    state into ``scratch`` one at a time, so memory stays one-model deep.
+    ``init_from_average`` warm-starts the student at the weight average
+    before distilling (the standard FedDF initialization, which the
+    ensemble-fusion ablation toggles).
+
+    Returns the final distillation loss.
+    """
+    if not client_states:
+        raise ValueError("no client knowledge states to fuse")
+    x, _ = public.arrays()
+    stacked = []
+    for state in client_states:
+        scratch.load_state_dict(state)
+        stacked.append(member_logits(scratch, x, batch_size=distill_config.batch_size))
+    teacher = ensemble_logits(np.stack(stacked, axis=0), strategy)
+
+    if init_from_average:
+        fuse_weight_average(global_knowledge, client_states, weights)
+    return distill_to_student(global_knowledge, teacher, public, distill_config)

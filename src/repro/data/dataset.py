@@ -1,0 +1,116 @@
+"""Dataset containers.
+
+A ``Dataset`` here is a thin, indexable view over dense NumPy arrays —
+federated simulation slices one corpus into many client shards, so views
+(``Subset``) must be zero-copy per the HPC guide's "views, not copies" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "train_test_split"]
+
+
+class Dataset:
+    """Abstract indexable dataset of ``(x, y)`` pairs."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, idx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def labels(self) -> np.ndarray:  # pragma: no cover - abstract
+        """Integer label vector for the whole dataset (used by partitioners)."""
+        raise NotImplementedError
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the full ``(X, y)`` arrays."""
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dense in-memory dataset.
+
+    Parameters
+    ----------
+    x:
+        Features, shape ``(N, ...)`` — images are NCHW float32.
+    y:
+        Integer labels, shape ``(N,)``.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+        self.x = x
+        self.y = y.astype(np.int64)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, idx):
+        return self.x[idx], self.y[idx]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.y
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.x, self.y
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+
+class Subset(Dataset):
+    """Zero-copy view of a parent dataset through an index array."""
+
+    def __init__(self, parent: Dataset, indices: Sequence[int] | np.ndarray) -> None:
+        self.parent = parent
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= len(parent)
+        ):
+            raise IndexError("subset indices out of range of parent dataset")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, idx):
+        return self.parent[self.indices[idx]]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.parent.labels[self.indices]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        px, py = self.parent.arrays()
+        return px[self.indices], py[self.indices]
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Subset, Subset]:
+    """Shuffle-split a dataset into train/test views.
+
+    >>> from repro.data.synthetic import make_blobs
+    >>> import numpy as np
+    >>> ds = make_blobs(100, seed=0)
+    >>> tr, te = train_test_split(ds, 0.25, np.random.default_rng(0))
+    >>> len(tr), len(te)
+    (75, 25)
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1); got {test_fraction}")
+    n = len(dataset)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    return Subset(dataset, perm[n_test:]), Subset(dataset, perm[:n_test])

@@ -1,0 +1,111 @@
+"""Federated dataset assembly.
+
+Bundles everything one FL experiment needs: per-client train shards,
+per-client *local* test shards (Table 3 evaluates average local accuracy),
+a global test set, and the server-side public/unlabelled split used by
+ensemble distillation (Eq. 4 — "using unlabeled data, generative data, or
+public data in the server").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, Dataset, Subset, train_test_split
+from repro.data.partition import DirichletPartitioner, Partitioner
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+
+__all__ = ["FederatedDataset", "build_federated_dataset"]
+
+
+@dataclass
+class FederatedDataset:
+    """All data views for one federated experiment.
+
+    Attributes
+    ----------
+    client_train:
+        One training shard per client (non-IID under the paper's settings).
+    client_test:
+        One *local* held-out shard per client, drawn from the same client
+        distribution (used for Table 3's average local accuracy).
+    server_test:
+        Global IID test set (used for Figures 4–6 top-1 accuracy).
+    server_public:
+        Server-side distillation set. Labels are present in the container
+        but distillation never reads them (unlabelled per the paper).
+    num_classes:
+        Task class count.
+    """
+
+    client_train: list[Dataset]
+    client_test: list[Dataset]
+    server_test: Dataset
+    server_public: Dataset
+    num_classes: int
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_train)
+
+    def client_sizes(self) -> np.ndarray:
+        return np.array([len(d) for d in self.client_train])
+
+    def validate(self) -> None:
+        """Sanity checks (used by tests and the experiment runner)."""
+        if len(self.client_train) != len(self.client_test):
+            raise ValueError("client train/test list length mismatch")
+        if any(len(d) == 0 for d in self.client_train):
+            raise ValueError("a client has an empty training shard")
+        if len(self.server_test) == 0 or len(self.server_public) == 0:
+            raise ValueError("server test/public sets must be non-empty")
+
+
+def build_federated_dataset(
+    world: SyntheticImageDataset,
+    num_clients: int,
+    n_train: int,
+    n_test: int,
+    n_public: int,
+    partitioner: Partitioner | None = None,
+    alpha: float = 0.1,
+    local_test_fraction: float = 0.25,
+    seed: int = 0,
+) -> FederatedDataset:
+    """Sample a world and split it into a :class:`FederatedDataset`.
+
+    The training corpus is partitioned with ``partitioner`` (default:
+    ``DirichletPartitioner(alpha)``, the paper's setting); each client's
+    shard is then split into local train/test so local evaluation sees the
+    client's own skewed distribution.
+    """
+    train = world.sample(n_train, seed=seed * 31 + 1)
+    server_test = world.sample(n_test, seed=seed * 31 + 2)
+    server_public = world.sample(n_public, seed=seed * 31 + 3)
+
+    if partitioner is None:
+        partitioner = DirichletPartitioner(num_clients, alpha=alpha, seed=seed)
+    shards = partitioner(train)
+
+    rng = np.random.default_rng(seed + 17)
+    client_train: list[Dataset] = []
+    client_test: list[Dataset] = []
+    for shard in shards:
+        if len(shard) >= 4:
+            tr, te = train_test_split(shard, local_test_fraction, rng)
+        else:  # degenerate tiny shard: test on the train view
+            tr, te = shard, shard
+        client_train.append(tr)
+        client_test.append(te)
+
+    fed = FederatedDataset(
+        client_train=client_train,
+        client_test=client_test,
+        server_test=server_test,
+        server_public=server_public,
+        num_classes=world.spec.num_classes,
+    )
+    fed.validate()
+    return fed

@@ -1,0 +1,183 @@
+"""Loaders for the real CIFAR-10 / MNIST files.
+
+The bundled experiments run on synthetic drop-ins (the sandbox is offline),
+but anyone with the actual corpora can point the pipeline at them — every
+downstream component consumes plain :class:`ArrayDataset`, so nothing else
+changes.
+
+Supported on-disk formats (the canonical distribution formats):
+
+- **CIFAR-10 binary version** (``cifar-10-batches-bin``): files of
+  10,000 records × (1 label byte + 3072 pixel bytes).
+- **MNIST IDX**: ``train-images-idx3-ubyte`` / ``train-labels-idx1-ubyte``
+  (magic 0x803 / 0x801), big-endian dims, optionally without the ``.gz``.
+
+Use :func:`load_cifar10_dir` / :func:`load_mnist_dir`, or
+:func:`resolve_dataset` which prefers real files when ``REPRO_CIFAR_DIR`` /
+``REPRO_MNIST_DIR`` point at them and falls back to the synthetic worlds
+otherwise.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pathlib
+import struct
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+__all__ = [
+    "read_idx",
+    "write_idx",
+    "load_mnist_dir",
+    "load_cifar10_batch",
+    "load_cifar10_dir",
+    "resolve_dataset",
+    "CIFAR10_MEAN",
+    "CIFAR10_STD",
+    "MNIST_MEAN",
+    "MNIST_STD",
+]
+
+# Canonical channel statistics for normalization.
+CIFAR10_MEAN = (0.4914, 0.4822, 0.4465)
+CIFAR10_STD = (0.2470, 0.2435, 0.2616)
+MNIST_MEAN = (0.1307,)
+MNIST_STD = (0.3081,)
+
+_IDX_DTYPES = {
+    0x08: np.uint8,
+    0x09: np.int8,
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+
+
+def _open_maybe_gz(path: pathlib.Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def read_idx(path: "str | pathlib.Path") -> np.ndarray:
+    """Parse an IDX file (optionally gzipped) into an ndarray."""
+    path = pathlib.Path(path)
+    with _open_maybe_gz(path) as f:
+        header = f.read(4)
+        if len(header) != 4 or header[0] != 0 or header[1] != 0:
+            raise ValueError(f"{path}: not an IDX file (bad magic {header!r})")
+        dtype_code, ndim = header[2], header[3]
+        if dtype_code not in _IDX_DTYPES:
+            raise ValueError(f"{path}: unknown IDX dtype code 0x{dtype_code:02x}")
+        dims = struct.unpack(f">{ndim}I", f.read(4 * ndim))
+        data = f.read()
+    arr = np.frombuffer(data, dtype=_IDX_DTYPES[dtype_code])
+    expected = int(np.prod(dims)) if ndim else 1
+    if arr.size != expected:
+        raise ValueError(f"{path}: payload has {arr.size} items, header says {expected}")
+    return arr.reshape(dims)
+
+
+def write_idx(path: "str | pathlib.Path", array: np.ndarray) -> pathlib.Path:
+    """Write an ndarray in IDX format (round-trip partner of :func:`read_idx`;
+    used by tests and for exporting synthetic corpora)."""
+    path = pathlib.Path(path)
+    array = np.ascontiguousarray(array)
+    codes = {np.dtype(np.uint8): 0x08, np.dtype(np.int8): 0x09}
+    if array.dtype not in codes:
+        raise ValueError(f"write_idx supports uint8/int8; got {array.dtype}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as f:
+        f.write(bytes([0, 0, codes[array.dtype], array.ndim]))
+        f.write(struct.pack(f">{array.ndim}I", *array.shape))
+        f.write(array.tobytes())
+    return path
+
+
+def load_mnist_dir(root: "str | pathlib.Path", split: str = "train") -> ArrayDataset:
+    """Load an MNIST-format directory into (N, 1, 28, 28) float32 in [0, 1].
+
+    Accepts both the classic ``train-images-idx3-ubyte`` and the ``.gz``
+    variants; ``split`` ∈ {"train", "t10k"}.
+    """
+    if split not in ("train", "t10k"):
+        raise ValueError(f"split must be 'train' or 't10k'; got {split!r}")
+    root = pathlib.Path(root)
+    images = labels = None
+    for suffix in ("", ".gz"):
+        ip = root / f"{split}-images-idx3-ubyte{suffix}"
+        lp = root / f"{split}-labels-idx1-ubyte{suffix}"
+        if ip.exists() and lp.exists():
+            images, labels = read_idx(ip), read_idx(lp)
+            break
+    if images is None:
+        raise FileNotFoundError(f"no {split} IDX files under {root}")
+    if images.ndim != 3:
+        raise ValueError(f"expected images rank 3; got {images.shape}")
+    x = (images.astype(np.float32) / 255.0)[:, None, :, :]
+    return ArrayDataset(x, labels.astype(np.int64))
+
+
+def load_cifar10_batch(path: "str | pathlib.Path") -> tuple[np.ndarray, np.ndarray]:
+    """Parse one CIFAR-10 binary batch into ((N,3,32,32) float32, labels)."""
+    raw = np.fromfile(str(path), dtype=np.uint8)
+    record = 1 + 3072
+    if raw.size == 0 or raw.size % record:
+        raise ValueError(f"{path}: size {raw.size} is not a multiple of {record}")
+    raw = raw.reshape(-1, record)
+    labels = raw[:, 0].astype(np.int64)
+    if labels.max() > 9:
+        raise ValueError(f"{path}: label byte out of range — not CIFAR-10 binary")
+    x = raw[:, 1:].reshape(-1, 3, 32, 32).astype(np.float32) / 255.0
+    return x, labels
+
+
+def load_cifar10_dir(root: "str | pathlib.Path", split: str = "train") -> ArrayDataset:
+    """Load a ``cifar-10-batches-bin`` directory (train: data_batch_1..5,
+    test: test_batch)."""
+    root = pathlib.Path(root)
+    if split == "train":
+        files = sorted(root.glob("data_batch_*.bin"))
+        if not files:
+            raise FileNotFoundError(f"no data_batch_*.bin under {root}")
+    elif split == "test":
+        files = [root / "test_batch.bin"]
+        if not files[0].exists():
+            raise FileNotFoundError(f"{files[0]} missing")
+    else:
+        raise ValueError(f"split must be 'train' or 'test'; got {split!r}")
+    xs, ys = zip(*(load_cifar10_batch(f) for f in files))
+    return ArrayDataset(np.concatenate(xs), np.concatenate(ys))
+
+
+def resolve_dataset(
+    name: str, split: str = "train", n_synthetic: int = 2000, seed: int = 0
+) -> tuple[ArrayDataset, str]:
+    """Real files if the env var points at them, synthetic otherwise.
+
+    Returns ``(dataset, source)`` with source ∈ {"files", "synthetic"}.
+    ``REPRO_CIFAR_DIR`` / ``REPRO_MNIST_DIR`` select the directories.
+    """
+    name = name.lower()
+    if name == "cifar10":
+        root = os.environ.get("REPRO_CIFAR_DIR")
+        if root and pathlib.Path(root).is_dir():
+            return load_cifar10_dir(root, "train" if split == "train" else "test"), "files"
+        from repro.data.synthetic import make_synthetic_cifar10
+
+        tr, te, _ = make_synthetic_cifar10(n_synthetic, max(1, n_synthetic // 4), seed=seed)
+        return (tr if split == "train" else te), "synthetic"
+    if name == "mnist":
+        root = os.environ.get("REPRO_MNIST_DIR")
+        if root and pathlib.Path(root).is_dir():
+            return load_mnist_dir(root, "train" if split == "train" else "t10k"), "files"
+        from repro.data.synthetic import make_synthetic_mnist
+
+        tr, te, _ = make_synthetic_mnist(n_synthetic, max(1, n_synthetic // 4), seed=seed)
+        return (tr if split == "train" else te), "synthetic"
+    raise KeyError(f"unknown dataset {name!r}; options: cifar10, mnist")

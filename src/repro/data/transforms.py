@@ -1,0 +1,86 @@
+"""Lightweight, vectorized batch transforms (data augmentation).
+
+Applied by :class:`repro.data.loader.DataLoader` to whole batches at once —
+per-sample Python loops would dominate CPU time at our batch sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomShift",
+    "GaussianNoise",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x, rng)
+        return x
+
+
+class Normalize:
+    """Per-channel standardization: ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (x - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p`` (vectorized)."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        self.p = p
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(x)) < self.p
+        out = x.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomShift:
+    """Random circular shift up to ``max_shift`` pixels per axis."""
+
+    def __init__(self, max_shift: int = 2) -> None:
+        self.max_shift = max_shift
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = x.shape
+        dh = rng.integers(-self.max_shift, self.max_shift + 1, size=n)
+        dw = rng.integers(-self.max_shift, self.max_shift + 1, size=n)
+        h_idx = (np.arange(h)[None, :] - dh[:, None]) % h
+        w_idx = (np.arange(w)[None, :] - dw[:, None]) % w
+        ni = np.arange(n)[:, None, None, None]
+        ci = np.arange(c)[None, :, None, None]
+        return x[ni, ci, h_idx[:, None, :, None], w_idx[:, None, None, :]]
+
+
+class GaussianNoise:
+    """Additive pixel noise (train-time regularizer)."""
+
+    def __init__(self, std: float = 0.05) -> None:
+        self.std = std
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return x + rng.standard_normal(x.shape).astype(x.dtype) * self.std

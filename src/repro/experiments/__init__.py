@@ -1,0 +1,27 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+- :mod:`repro.experiments.configs` — scale profiles (smoke/small/paper) and
+  the canonical per-experiment settings.
+- :mod:`repro.experiments.paper` — the numbers the paper reports, for
+  side-by-side comparison in bench output and EXPERIMENTS.md.
+- :mod:`repro.experiments.runner` — memoized experiment execution.
+- :mod:`repro.experiments.tables` — Table 1 / 2 / 3 computation + rendering.
+- :mod:`repro.experiments.figures` — Figure 4 / 5 / 6 / 7 series + rendering.
+"""
+
+from repro.experiments.configs import Scale, get_scale, SCALES, ClientSetting, CLIENT_SETTINGS
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments import paper, tables, figures
+
+__all__ = [
+    "Scale",
+    "get_scale",
+    "SCALES",
+    "ClientSetting",
+    "CLIENT_SETTINGS",
+    "ExperimentRunner",
+    "RunKey",
+    "paper",
+    "tables",
+    "figures",
+]

@@ -1,0 +1,219 @@
+"""Computation and text rendering of the paper's Figures 4–7.
+
+Figures are produced as data series (dicts of accuracy arrays) plus an
+ASCII rendering — the sandbox has no display, and the bench harness tees
+the renderings into bench output / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.configs import CLIENT_SETTINGS
+from repro.experiments.runner import ExperimentRunner
+from repro.fl.metrics import rounds_to_target
+
+__all__ = [
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "render_series_panel",
+    "render_bars",
+    "sparkline",
+    "FIGURE4_METHODS",
+]
+
+FIGURE4_METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "fedkemf")
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: "np.ndarray | list[float]", lo: float = 0.0, hi: float | None = None) -> str:
+    """Render a series as unicode block characters."""
+    v = np.asarray(values, dtype=np.float64)
+    if len(v) == 0:
+        return ""
+    hi = hi if hi is not None else max(float(v.max()), lo + 1e-9)
+    scaled = np.clip((v - lo) / (hi - lo), 0, 1)
+    return "".join(_BLOCKS[int(round(s * (len(_BLOCKS) - 1)))] for s in scaled)
+
+
+def render_series_panel(title: str, series: dict) -> str:
+    """One Figure 4/7 panel: per-method accuracy-vs-round sparklines."""
+    lines = [title]
+    hi = max((float(np.max(v)) for v in series.values() if len(v)), default=1.0)
+    for name, accs in series.items():
+        accs = np.asarray(accs)
+        lines.append(
+            f"  {name:9s} {sparkline(accs, 0.0, hi)}  final={accs[-1]:.2%} best={accs.max():.2%}"
+        )
+    return "\n".join(lines)
+
+
+def render_bars(title: str, values: dict, unit: str = "") -> str:
+    """Figure 5/6-style horizontal bars."""
+    lines = [title]
+    finite = [v for v in values.values() if v is not None and np.isfinite(v)]
+    hi = max(finite) if finite else 1.0
+    for name, v in values.items():
+        if v is None or not np.isfinite(v):
+            lines.append(f"  {name:9s} {'(not reached)':>14s}")
+            continue
+        bar = "█" * max(1, int(round(30 * v / hi)))
+        lines.append(f"  {name:9s} {bar} {v:.4g}{unit}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4 — accuracy vs communication rounds
+# ---------------------------------------------------------------------- #
+
+
+def figure4(
+    runner: ExperimentRunner,
+    methods: tuple = FIGURE4_METHODS,
+    panels: "tuple[tuple[str, str, str], ...] | None" = None,
+    seed: int = 0,
+) -> dict:
+    """Top-1 accuracy vs. rounds for every (dataset, model, setting) panel.
+
+    Default panels mirror the paper: 2-layer CNN on MNIST plus VGG-11 and
+    ResNet-20/32 on CIFAR-10 at the 30-client setting.
+    """
+    if panels is None:
+        panels = (
+            ("mnist", "cnn-2", "30"),
+            ("cifar10", "vgg-11", "30"),
+            ("cifar10", "resnet-20", "30"),
+            ("cifar10", "resnet-32", "30"),
+        )
+    out: dict = {}
+    for dataset, model, setting in panels:
+        series = {}
+        for method in methods:
+            h = runner.run(method, model, dataset=dataset, setting=setting, seed=seed)
+            series[h.algorithm] = h.accuracies
+        out[f"{model}@{dataset} (clients={setting})"] = series
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — convergence accuracy overhead
+# ---------------------------------------------------------------------- #
+
+
+def figure5(
+    runner: ExperimentRunner,
+    methods: tuple = FIGURE4_METHODS,
+    panels: "tuple[tuple[str, str, str], ...] | None" = None,
+    seed: int = 0,
+) -> dict:
+    """Final/best accuracy bars per method ("higher the better")."""
+    if panels is None:
+        panels = (
+            ("cifar10", "resnet-20", "30"),
+            ("cifar10", "resnet-32", "30"),
+            ("cifar10", "vgg-11", "30"),
+        )
+    out: dict = {}
+    for dataset, model, setting in panels:
+        bars = {}
+        for method in methods:
+            h = runner.run(method, model, dataset=dataset, setting=setting, seed=seed)
+            tail = h.accuracies[-max(3, len(h.accuracies) // 3) :]
+            bars[h.algorithm] = float(np.sort(tail)[-3:].mean())
+        out[f"{model}@{dataset} (clients={setting})"] = bars
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — communication rounds to reach target accuracy
+# ---------------------------------------------------------------------- #
+
+
+def figure6(
+    runner: ExperimentRunner,
+    methods: tuple = FIGURE4_METHODS,
+    panels: "tuple[tuple[str, str, str], ...] | None" = None,
+    seed: int = 0,
+) -> dict:
+    """Rounds to target per method ("lower the better"); None = not reached."""
+    if panels is None:
+        panels = (
+            ("cifar10", "resnet-20", "30"),
+            ("cifar10", "resnet-32", "30"),
+            ("cifar10", "vgg-11", "30"),
+        )
+    out: dict = {}
+    for dataset, model, setting in panels:
+        target = runner.scale.target_for(setting)
+        bars = {}
+        for method in methods:
+            h = runner.run(method, model, dataset=dataset, setting=setting, seed=seed)
+            bars[h.algorithm] = rounds_to_target(h.accuracies, target)
+        out[f"{model}@{dataset} (clients={setting}, target={target:.0%})"] = bars
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — FedKEMF stability across FL settings
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class StabilityEntry:
+    """Stability summary of one FedKEMF setting."""
+
+    label: str
+    accuracies: np.ndarray
+    final: float
+    tail_std: float  # std over the last third — the paper's "stable" claim
+
+
+def figure7(
+    runner: ExperimentRunner,
+    model: str = "resnet-20",
+    settings: tuple = ("30", "50", "100"),
+    ratios: tuple = (0.4, 0.7, 1.0),
+    alphas: "tuple[float, ...] | None" = None,
+    seed: int = 0,
+) -> list[StabilityEntry]:
+    """FedKEMF under different federation sizes / sample ratios / α's.
+
+    The paper's claim: the optimization stays stable as heterogeneity and
+    scale grow. ``tail_std`` quantifies the late-run fluctuation the figure
+    shows visually.
+    """
+    entries: list[StabilityEntry] = []
+    for setting in settings:
+        for ratio in ratios:
+            h = runner.run(
+                "fedkemf", model, setting=setting, sample_ratio=ratio, seed=seed
+            )
+            accs = h.accuracies
+            tail = accs[-max(3, len(accs) // 3) :]
+            entries.append(
+                StabilityEntry(
+                    label=f"clients={setting} ratio={ratio:.1f} α={runner.scale.alpha}",
+                    accuracies=accs,
+                    final=float(accs[-1]),
+                    tail_std=float(np.std(tail)),
+                )
+            )
+    if alphas:
+        for alpha in alphas:
+            h = runner.run("fedkemf", model, setting=settings[0], alpha=alpha, seed=seed)
+            accs = h.accuracies
+            tail = accs[-max(3, len(accs) // 3) :]
+            entries.append(
+                StabilityEntry(
+                    label=f"clients={settings[0]} ratio=default α={alpha}",
+                    accuracies=accs,
+                    final=float(accs[-1]),
+                    tail_std=float(np.std(tail)),
+                )
+            )
+    return entries

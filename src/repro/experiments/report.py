@@ -1,0 +1,93 @@
+"""Assemble the bench artifacts into one reproduction report.
+
+The benchmark suite leaves one rendered text artifact per table/figure in
+``benchmarks/results``; :func:`build_report` stitches them into a single
+markdown document (with the paper-vs-measured framing of EXPERIMENTS.md),
+and the CLI exposes it as ``python -m repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["SECTION_ORDER", "ReportSection", "collect_sections", "build_report", "main"]
+
+# artifact stem → (title, paper anchor)
+SECTION_ORDER: tuple[tuple[str, str], ...] = (
+    ("table1", "Table 1 — communication cost to target accuracy"),
+    ("table2", "Table 2 — communication cost to convergence"),
+    ("table3", "Table 3 — multi-model federated learning"),
+    ("figure4", "Figure 4 — accuracy vs communication rounds"),
+    ("figure5", "Figure 5 — convergence accuracy"),
+    ("figure6", "Figure 6 — rounds to target accuracy"),
+    ("figure7", "Figure 7 — stability across FL settings"),
+    ("ablation_ensemble", "Ablation — ensemble strategy / fusion mode"),
+    ("ablation_dml", "Ablation — DML coupling weight"),
+    ("ablation_distill", "Ablation — server distillation budget"),
+    ("ablation_compression", "Ablation — wire compression (extension)"),
+    ("related_work", "Related work — distillation-family methods"),
+    ("system_efficiency", "System efficiency — straggler analysis"),
+)
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    stem: str
+    title: str
+    body: str
+
+
+def collect_sections(results_dir: "str | pathlib.Path") -> list[ReportSection]:
+    """Read every known artifact present in ``results_dir`` (ordered)."""
+    root = pathlib.Path(results_dir)
+    sections = []
+    for stem, title in SECTION_ORDER:
+        path = root / f"{stem}.txt"
+        if path.exists():
+            sections.append(ReportSection(stem, title, path.read_text().rstrip()))
+    return sections
+
+
+def build_report(results_dir: "str | pathlib.Path", scale_name: str = "smoke") -> str:
+    """Render the markdown reproduction report."""
+    sections = collect_sections(results_dir)
+    lines = [
+        "# FedKEMF reproduction report",
+        "",
+        f"Scale: `{scale_name}` — regenerate with "
+        "`pytest benchmarks/ --benchmark-only` (see EXPERIMENTS.md for the "
+        "paper-vs-measured analysis of each section).",
+        "",
+    ]
+    if not sections:
+        lines.append(
+            "_No artifacts found — run the benchmark suite first; it writes "
+            "one text artifact per table/figure into `benchmarks/results/`._"
+        )
+    for s in sections:
+        lines += [f"## {s.title}", "", "```text", s.body, "```", ""]
+    missing = [stem for stem, _ in SECTION_ORDER if stem not in {s.stem for s in sections}]
+    if missing and sections:
+        lines.append(f"_Missing artifacts (bench not yet run): {', '.join(missing)}_")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+    import os
+
+    p = argparse.ArgumentParser(description="Assemble bench artifacts into one report.")
+    p.add_argument("--results", default="benchmarks/results", type=pathlib.Path)
+    p.add_argument("--out", default=None, type=pathlib.Path)
+    args = p.parse_args(argv)
+    text = build_report(args.results, os.environ.get("REPRO_SCALE", "smoke"))
+    if args.out:
+        args.out.write_text(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

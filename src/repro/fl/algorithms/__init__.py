@@ -1,0 +1,29 @@
+"""Baseline FL algorithms.
+
+``base`` must be imported before ``feddf`` (FedDF pulls the paper-core
+distillation utilities from :mod:`repro.core`, which in turn imports
+``base`` — the ordering below keeps that import chain acyclic).
+"""
+
+from repro.fl.algorithms.base import FLAlgorithm, FLConfig, ALGORITHM_REGISTRY
+from repro.fl.algorithms.fedavg import FedAvg
+from repro.fl.algorithms.fedprox import FedProx
+from repro.fl.algorithms.fednova import FedNova
+from repro.fl.algorithms.scaffold import Scaffold
+from repro.fl.algorithms.feddf import FedDF
+from repro.fl.algorithms.fedmd import FedMD
+from repro.fl.algorithms.fedopt import FedAvgM, FedAdam
+
+__all__ = [
+    "FLAlgorithm",
+    "FLConfig",
+    "ALGORITHM_REGISTRY",
+    "FedAvg",
+    "FedProx",
+    "FedNova",
+    "Scaffold",
+    "FedDF",
+    "FedMD",
+    "FedAvgM",
+    "FedAdam",
+]

@@ -1,0 +1,197 @@
+"""FL algorithm base class: config, round loop, evaluation and recording.
+
+Subclasses implement :meth:`FLAlgorithm.round` (one communication round over
+the selected clients) and optionally override which model is evaluated
+globally / locally. Everything else — sampling, metering, history — is
+shared, so paired comparisons differ only in the algorithm itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.data.federated import FederatedDataset
+from repro.fl.comm import Channel, CommMeter
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.metrics import average_local_accuracy, evaluate_model
+from repro.fl.sampler import ClientSampler
+from repro.fl.trainer import LocalTrainer
+from repro.nn.module import Module
+from repro.utils.logging import get_logger
+from repro.utils.registry import Registry
+
+__all__ = ["FLConfig", "FLAlgorithm", "ALGORITHM_REGISTRY"]
+
+log = get_logger("fl")
+
+ALGORITHM_REGISTRY: Registry[type] = Registry("algorithm")
+
+ModelFn = Callable[[], Module]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyperparameters shared by all FL algorithms.
+
+    Defaults follow the non-IID benchmark conventions (Li et al. 2021) that
+    the paper adopts; experiment presets override per table/figure.
+    """
+
+    rounds: int = 20
+    sample_ratio: float = 0.4
+    local_epochs: int = 2
+    batch_size: int = 32
+    lr: float = 0.02
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    eval_batch_size: int = 256
+    seed: int = 0
+    eval_local: bool = False  # also track average local accuracy (Table 3)
+    # algorithm-specific knobs (ignored by algorithms that don't use them)
+    prox_mu: float = 0.01  # FedProx proximal strength
+    server_lr: float = 1.0  # SCAFFOLD/FedNova global step size
+    distill_epochs: int = 1  # server distillation epochs (FedDF / FedKEMF)
+    distill_lr: float = 1e-3
+    distill_batch_size: int = 64
+    distill_temperature: float = 1.0
+    distill_init_from_average: bool = True  # FedDF-style warm start
+    kl_weight: float = 1.0  # DML coupling strength (FedKEMF ablation)
+    ensemble: str = "max"  # max | mean | vote (paper §Ensemble Knowledge)
+    fusion: str = "ensemble-distill"  # or "weight-average"
+    compression: str | None = None  # wire codec: fp16 | q8 | q4 (extension)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1; got {self.rounds}")
+        if not 0.0 < self.sample_ratio <= 1.0:
+            raise ValueError(f"sample_ratio must be in (0, 1]; got {self.sample_ratio}")
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1; got {self.local_epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {self.batch_size}")
+        if self.lr <= 0 or self.distill_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.kl_weight < 0:
+            raise ValueError(f"kl_weight must be non-negative; got {self.kl_weight}")
+        if self.prox_mu < 0:
+            raise ValueError(f"prox_mu must be non-negative; got {self.prox_mu}")
+
+    def with_overrides(self, **kwargs) -> "FLConfig":
+        """Functional update (configs are frozen; revalidates)."""
+        return replace(self, **kwargs)
+
+
+class FLAlgorithm:
+    """Base federated-learning driver.
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-arg constructor for the (global/client) model architecture.
+    fed:
+        The federated data views.
+    config:
+        Shared hyperparameters.
+    """
+
+    name = "base"
+
+    def __init__(self, model_fn: ModelFn, fed: FederatedDataset, config: FLConfig) -> None:
+        fed.validate()
+        self.model_fn = model_fn
+        self.fed = fed
+        self.cfg = config
+        from repro.fl.compression import make_codec  # local: avoids import cycle
+
+        self.meter = CommMeter()
+        self.channel = Channel(self.meter, codec=make_codec(config.compression))
+        self.sampler = ClientSampler(fed.num_clients, config.sample_ratio, config.seed)
+        self.global_model = model_fn()
+        # One reusable scratch model per algorithm run: each client loads
+        # its state into it, trains, uploads — avoids N re-constructions.
+        self._scratch = model_fn()
+        self.trainers = [
+            LocalTrainer(
+                ds,
+                batch_size=config.batch_size,
+                lr=config.lr,
+                momentum=config.momentum,
+                weight_decay=config.weight_decay,
+                seed=config.seed * 7919 + i,
+            )
+            for i, ds in enumerate(fed.client_train)
+        ]
+        self.setup()
+
+    # hooks ------------------------------------------------------------- #
+
+    def setup(self) -> None:
+        """Algorithm-specific state initialization (control variates, ...)."""
+
+    def round(self, round_idx: int, selected: list[int]) -> None:  # pragma: no cover
+        """Run one communication round over ``selected`` clients."""
+        raise NotImplementedError
+
+    def evaluation_model(self) -> Module:
+        """The model scored on the global test set each round."""
+        return self.global_model
+
+    def local_models_for_eval(self) -> "list[Module] | None":
+        """Per-client deployed models for the Table 3 metric.
+
+        Baselines deploy the global model everywhere; FedKEMF overrides this
+        with the heterogeneous local models.
+        """
+        return None
+
+    # driver ------------------------------------------------------------ #
+
+    def run(self, rounds: int | None = None) -> RunHistory:
+        """Execute the round loop and return the measured history."""
+        rounds = rounds if rounds is not None else self.cfg.rounds
+        history = RunHistory(
+            algorithm=self.name,
+            model=type(self.global_model).__name__,
+            num_clients=self.fed.num_clients,
+            sample_ratio=self.cfg.sample_ratio,
+        )
+        for t in range(rounds):
+            start = time.perf_counter()
+            self.meter.begin_round(t)
+            selected = self.sampler.sample(t)
+            self.round(t, selected)
+            acc, loss = evaluate_model(
+                self.evaluation_model(), self.fed.server_test, self.cfg.eval_batch_size
+            )
+            local_acc = None
+            if self.cfg.eval_local:
+                models = self.local_models_for_eval()
+                if models is None:
+                    models = [self.evaluation_model()] * self.fed.num_clients
+                local_acc = average_local_accuracy(
+                    models, self.fed.client_test, self.cfg.eval_batch_size
+                )
+            history.append(
+                RoundRecord(
+                    round_idx=t + 1,
+                    accuracy=acc,
+                    loss=loss,
+                    cum_bytes=self.meter.total,
+                    round_bytes=self.meter.round_bytes[t],
+                    num_selected=len(selected),
+                    local_accuracy=local_acc,
+                    wall_time=time.perf_counter() - start,
+                )
+            )
+            log.info(
+                "%s round %d/%d acc=%.4f loss=%.4f bytes=%.2fMB",
+                self.name,
+                t + 1,
+                rounds,
+                acc,
+                loss,
+                self.meter.total / 1e6,
+            )
+        return history

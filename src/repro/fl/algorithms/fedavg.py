@@ -1,0 +1,35 @@
+"""FedAvg (McMahan et al. 2017) — the reference baseline.
+
+Each round: broadcast global weights to the sampled clients, run E local
+epochs of SGD, and aggregate the returned weights by a sample-count-weighted
+average (BatchNorm running statistics are averaged alongside, the standard
+convention).
+"""
+
+from __future__ import annotations
+
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.nn.serialization import average_states
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(FLAlgorithm):
+    """Weighted weight-averaging FL."""
+
+    name = "FedAvg"
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        global_state = self.global_model.state_dict(copy=False)
+        states, weights = [], []
+        for cid in selected:
+            local_state = self.channel.download(cid, global_state)
+            self._scratch.load_state_dict(local_state)
+            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+            uploaded = self.channel.upload(cid, self._scratch.state_dict(copy=False))
+            states.append(uploaded)
+            weights.append(float(len(self.fed.client_train[cid])))
+        self.global_model.load_state_dict(average_states(states, weights))
+
+
+ALGORITHM_REGISTRY.add("fedavg", FedAvg)

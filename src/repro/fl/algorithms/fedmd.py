@@ -1,0 +1,108 @@
+"""FedMD (Li & Wang 2019) — heterogeneous FL via logit communication.
+
+A related-work baseline the paper positions itself against. Clients may run
+arbitrary architectures; each round they
+
+1. download the server's *consensus scores* (average class logits on the
+   shared public set) and **digest** — train to match the consensus on the
+   public data;
+2. **revisit** — train on their private shard;
+3. upload their own logits on the public set.
+
+Only (N_public × classes) floats cross the wire — even less than FedKEMF's
+knowledge network — but there is no global *model*: the server's artifact
+is the consensus table, and system accuracy is the committee of client
+models (evaluated here through :class:`repro.core.ensemble.EnsembleModule`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.distill import DistillConfig, distill_from_teacher_logits
+from repro.core.ensemble import EnsembleModule, member_logits
+from repro.data.federated import FederatedDataset
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
+from repro.nn.module import Module
+
+__all__ = ["FedMD"]
+
+
+class FedMD(FLAlgorithm):
+    """Federated learning via model distillation on a public dataset.
+
+    Parameters mirror :class:`repro.core.fedkemf.FedKEMF`: ``model_fn`` is
+    the default client architecture and ``local_model_fns`` optionally gives
+    one builder per client for heterogeneous deployments.
+    """
+
+    name = "FedMD"
+
+    def __init__(
+        self,
+        model_fn: ModelFn,
+        fed: FederatedDataset,
+        config: FLConfig,
+        local_model_fns: "Sequence[ModelFn] | ModelFn | None" = None,
+    ) -> None:
+        if local_model_fns is None:
+            local_model_fns = model_fn
+        if callable(local_model_fns):
+            local_model_fns = [local_model_fns] * fed.num_clients
+        if len(local_model_fns) != fed.num_clients:
+            raise ValueError(
+                f"need one builder per client ({fed.num_clients}); got {len(local_model_fns)}"
+            )
+        self._local_model_fns = list(local_model_fns)
+        super().__init__(model_fn, fed, config)
+
+    def setup(self) -> None:
+        self.client_models: list[Module] = [fn() for fn in self._local_model_fns]
+        self._digest_config = DistillConfig(
+            epochs=self.cfg.distill_epochs,
+            lr=self.cfg.distill_lr,
+            batch_size=self.cfg.distill_batch_size,
+            temperature=self.cfg.distill_temperature,
+            seed=self.cfg.seed,
+        )
+        x, _ = self.fed.server_public.arrays()
+        self._public_x = x
+        num_classes = self.fed.num_classes
+        # consensus starts uninformative (zeros = uniform distribution)
+        self.consensus = np.zeros((len(x), num_classes), dtype=np.float32)
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        uploads = []
+        for cid in selected:
+            model = self.client_models[cid]
+            # download consensus scores (the only downlink payload)
+            consensus = self.channel.download(
+                cid, OrderedDict(scores=self.consensus)
+            )["scores"]
+            if round_idx > 0:  # round 0 has no information to digest
+                distill_from_teacher_logits(
+                    model, consensus, self._public_x, self._digest_config
+                )
+            # revisit: a few epochs on the private shard
+            self.trainers[cid].train(model, self.cfg.local_epochs, round_idx)
+            # upload own public-set scores
+            scores = member_logits(model, self._public_x, self._digest_config.batch_size)
+            uploads.append(
+                self.channel.upload(cid, OrderedDict(scores=scores.astype(np.float32)))[
+                    "scores"
+                ]
+            )
+        self.consensus = np.mean(uploads, axis=0).astype(np.float32)
+
+    def evaluation_model(self) -> Module:
+        """System accuracy = the committee of all client models."""
+        return EnsembleModule(self.client_models, strategy="mean")
+
+    def local_models_for_eval(self) -> "list[Module]":
+        return self.client_models
+
+
+ALGORITHM_REGISTRY.add("fedmd", FedMD)

@@ -1,0 +1,113 @@
+"""FedOpt family (Reddi et al. 2021): adaptive *server* optimizers.
+
+FedAvg treats the weighted average of client updates as the new model;
+FedOpt instead treats the average client delta Δ = avg(yᵢ) − x as a
+pseudo-gradient and feeds it to a server-side optimizer:
+
+- **FedAvgM** — server momentum: v ← β·v + Δ;  x ← x + η_s·v
+- **FedAdam** — server Adam over Δ (bias-corrected moments)
+
+Both communicate exactly like FedAvg (model weights up/down), so they slot
+into the same communication accounting; they are the standard stabilized
+baselines a practitioner would try before distillation methods.
+BatchNorm buffers are averaged directly (they are statistics, not
+gradient-like quantities).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.nn.serialization import average_states
+
+__all__ = ["FedAvgM", "FedAdam"]
+
+
+class _FedOptBase(FLAlgorithm):
+    """Shared client loop: local SGD, upload weights, form Δ."""
+
+    def _client_pass(self, round_idx: int, selected: list[int]):
+        global_state = self.global_model.state_dict()
+        states, weights = [], []
+        for cid in selected:
+            local_state = self.channel.download(cid, global_state)
+            self._scratch.load_state_dict(local_state)
+            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+            states.append(self.channel.upload(cid, self._scratch.state_dict(copy=False)))
+            weights.append(float(len(self.fed.client_train[cid])))
+        avg = average_states(states, weights)
+        param_names = {name for name, _ in self.global_model.named_parameters()}
+        delta = OrderedDict(
+            (k, np.asarray(avg[k], dtype=np.float64) - np.asarray(global_state[k], dtype=np.float64))
+            for k in avg
+            if k in param_names
+        )
+        return global_state, avg, delta, param_names
+
+    def _apply(self, global_state, avg, param_names, step: OrderedDict) -> None:
+        new_state = OrderedDict()
+        for k in avg:
+            if k in param_names:
+                x = np.asarray(global_state[k], dtype=np.float64) + step[k]
+                new_state[k] = x.astype(np.asarray(global_state[k]).dtype)
+            else:  # buffers: plain average
+                new_state[k] = avg[k]
+        self.global_model.load_state_dict(new_state)
+
+
+class FedAvgM(_FedOptBase):
+    """Server momentum over the average client delta."""
+
+    name = "FedAvgM"
+    beta = 0.9
+
+    def setup(self) -> None:
+        self._velocity: OrderedDict | None = None
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        global_state, avg, delta, param_names = self._client_pass(round_idx, selected)
+        if self._velocity is None:
+            self._velocity = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
+        step = OrderedDict()
+        for k, d in delta.items():
+            self._velocity[k] = self.beta * self._velocity[k] + d
+            step[k] = self.cfg.server_lr * self._velocity[k]
+        self._apply(global_state, avg, param_names, step)
+
+
+class FedAdam(_FedOptBase):
+    """Server Adam over the average client delta (τ-adaptivity of FedOpt)."""
+
+    name = "FedAdam"
+    beta1 = 0.9
+    beta2 = 0.99
+    eps = 1e-4  # the FedOpt paper's recommended large epsilon
+
+    def setup(self) -> None:
+        self._m: OrderedDict | None = None
+        self._v: OrderedDict | None = None
+        self._t = 0
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        global_state, avg, delta, param_names = self._client_pass(round_idx, selected)
+        if self._m is None:
+            self._m = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
+            self._v = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        step = OrderedDict()
+        for k, d in delta.items():
+            self._m[k] = self.beta1 * self._m[k] + (1 - self.beta1) * d
+            self._v[k] = self.beta2 * self._v[k] + (1 - self.beta2) * (d * d)
+            step[k] = (
+                self.cfg.server_lr * (self._m[k] / bc1) / (np.sqrt(self._v[k] / bc2) + self.eps)
+            )
+        self._apply(global_state, avg, param_names, step)
+
+
+ALGORITHM_REGISTRY.add("fedavgm", FedAvgM)
+ALGORITHM_REGISTRY.add("fedadam", FedAdam)

@@ -1,0 +1,121 @@
+"""SCAFFOLD (Karimireddy et al. 2020) — stochastic controlled averaging.
+
+Maintains a server control variate ``c`` and one client control ``cᵢ`` per
+client. Local SGD steps use the corrected gradient ``g + c − cᵢ``, removing
+client drift under non-IID data. After τ local steps with learning rate η:
+
+    cᵢ⁺ = cᵢ − c + (x − yᵢ)/(τ·η)        (option II of the paper)
+    uplink: (yᵢ, Δcᵢ);  server: x ← x + lr_g·mean(Δyᵢ), c ← c + (|S|/N)·mean(Δcᵢ)
+
+Both directions genuinely carry two model-sized payloads (x with c down,
+yᵢ with Δcᵢ up), matching the paper's 2× Round/Client accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.nn.module import Module
+from repro.nn.serialization import average_states
+
+__all__ = ["Scaffold"]
+
+
+def _zeros_like_params(model: Module) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict(
+        (name, np.zeros_like(p.data, dtype=np.float64)) for name, p in model.named_parameters()
+    )
+
+
+class Scaffold(FLAlgorithm):
+    """Control-variate corrected FL."""
+
+    name = "SCAFFOLD"
+
+    def setup(self) -> None:
+        self.server_control = _zeros_like_params(self.global_model)
+        self.client_controls: dict[int, OrderedDict] = {}
+        # The SCAFFOLD analysis assumes plain SGD local steps; heavy-ball
+        # momentum compounds the control correction and diverges, so the
+        # local solver runs momentum-free regardless of the shared config.
+        for tr in self.trainers:
+            tr.momentum = 0.0
+
+    def _control_for(self, cid: int) -> OrderedDict:
+        if cid not in self.client_controls:
+            self.client_controls[cid] = _zeros_like_params(self.global_model)
+        return self.client_controls[cid]
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        global_state = self.global_model.state_dict()
+        param_names = [name for name, _ in self.global_model.named_parameters()]
+
+        uploaded_states = []
+        delta_controls: list[OrderedDict] = []
+        weights: list[float] = []
+        for cid in selected:
+            # downlink: model weights AND the server control (two payloads,
+            # both fp32 on the wire)
+            local_state = self.channel.download(cid, global_state)
+            c_server = self.channel.download(
+                cid,
+                OrderedDict((k, v.astype(np.float32)) for k, v in self.server_control.items()),
+            )
+            self._scratch.load_state_dict(local_state)
+            c_i = self._control_for(cid)
+            correction = {
+                name: (c_server[name] - c_i[name]).astype(np.float32) for name in param_names
+            }
+
+            def control_hook(model: Module) -> None:
+                for name, p in model.named_parameters():
+                    if p.grad is not None:
+                        p.grad += correction[name]
+
+            stats = self.trainers[cid].train(
+                self._scratch, self.cfg.local_epochs, round_idx, grad_hook=control_hook
+            )
+            tau = max(stats.steps, 1)
+            eta = self.trainers[cid].lr
+            y_state = self._scratch.state_dict(copy=False)
+
+            new_c = OrderedDict()
+            delta_c = OrderedDict()
+            for name in param_names:
+                drift = (
+                    np.asarray(global_state[name], dtype=np.float64) - y_state[name]
+                ) / (tau * eta)
+                new_c[name] = c_i[name] - c_server[name] + drift
+                delta_c[name] = new_c[name] - c_i[name]
+            self.client_controls[cid] = new_c
+
+            # uplink: weights AND control delta (two payloads, fp32 wire)
+            uploaded_states.append(self.channel.upload(cid, y_state))
+            delta_controls.append(
+                self.channel.upload(
+                    cid, OrderedDict((k, v.astype(np.float32)) for k, v in delta_c.items())
+                )
+            )
+            weights.append(float(len(self.fed.client_train[cid])))
+
+        # Server model: x ← x + lr_g · weighted-mean(yᵢ − x); buffers averaged.
+        avg_y = average_states(uploaded_states, weights)
+        new_state = OrderedDict()
+        for k, v in avg_y.items():
+            x_k = np.asarray(global_state[k], dtype=np.float64)
+            new_state[k] = (x_k + self.cfg.server_lr * (v - x_k)).astype(
+                np.asarray(global_state[k]).dtype
+            )
+        self.global_model.load_state_dict(new_state)
+
+        # Server control: c ← c + (|S|/N) · mean(Δcᵢ)
+        frac = len(selected) / self.fed.num_clients
+        for name in param_names:
+            mean_dc = np.mean([dc[name] for dc in delta_controls], axis=0)
+            self.server_control[name] += frac * mean_dc
+
+
+ALGORITHM_REGISTRY.add("scaffold", Scaffold)

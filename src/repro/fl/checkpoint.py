@@ -1,0 +1,153 @@
+"""Experiment persistence: run histories and model checkpoints on disk.
+
+Long FL sweeps (the `paper` scale runs for hours) need durable artifacts:
+
+- :func:`save_history` / :func:`load_history` — a :class:`RunHistory` as
+  JSON (the exact series the tables/figures consume);
+- :func:`save_model` / :func:`load_model` — a module's state dict in the
+  same versioned binary wire format the channel uses;
+- :class:`CheckpointManager` — a directory layout with one JSON + one
+  weights file per run, plus a manifest for discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping
+
+import numpy as np
+
+from repro.fl.history import RoundRecord, RunHistory
+from repro.nn.module import Module
+from repro.nn.serialization import dumps_state_dict, loads_state_dict
+
+__all__ = ["save_history", "load_history", "save_model", "load_model", "CheckpointManager"]
+
+
+def save_history(history: RunHistory, path: "str | pathlib.Path") -> pathlib.Path:
+    """Write a run history as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history.to_dict(), indent=2))
+    return path
+
+
+def load_history(path: "str | pathlib.Path") -> RunHistory:
+    """Reconstruct a :class:`RunHistory` written by :func:`save_history`."""
+    raw = json.loads(pathlib.Path(path).read_text())
+    history = RunHistory(
+        algorithm=raw["algorithm"],
+        model=raw["model"],
+        num_clients=raw["num_clients"],
+        sample_ratio=raw["sample_ratio"],
+        meta=dict(raw.get("meta", {})),
+    )
+    for r in raw["rounds"]:
+        history.append(
+            RoundRecord(
+                round_idx=r["round"],
+                accuracy=r["accuracy"],
+                loss=r["loss"],
+                cum_bytes=r["cum_bytes"],
+                round_bytes=r["round_bytes"],
+                num_selected=r["num_selected"],
+                local_accuracy=r.get("local_accuracy"),
+                wall_time=r.get("wall_time", 0.0),
+            )
+        )
+    return history
+
+
+def save_model(model_or_state: "Module | Mapping[str, np.ndarray]", path) -> pathlib.Path:
+    """Write a module's (or raw) state dict in the binary wire format."""
+    state = (
+        model_or_state.state_dict()
+        if isinstance(model_or_state, Module)
+        else model_or_state
+    )
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(dumps_state_dict(state))
+    return path
+
+
+def load_model(path, into: "Module | None" = None):
+    """Read a state dict; if ``into`` is given, load it and return the module."""
+    state = loads_state_dict(pathlib.Path(path).read_bytes())
+    if into is None:
+        return state
+    into.load_state_dict(state)
+    return into
+
+
+class CheckpointManager:
+    """One directory per experiment sweep.
+
+    Layout::
+
+        root/
+          manifest.json              # run name → files + headline numbers
+          <name>.history.json
+          <name>.weights.bin
+    """
+
+    def __init__(self, root: "str | pathlib.Path") -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / "manifest.json"
+
+    def _read_manifest(self) -> dict:
+        if self._manifest_path.exists():
+            return json.loads(self._manifest_path.read_text())
+        return {}
+
+    def _write_manifest(self, manifest: dict) -> None:
+        self._manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    def save(self, name: str, history: RunHistory, model: "Module | None" = None) -> None:
+        """Persist one run (history always; weights when a model is given)."""
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid checkpoint name {name!r}")
+        save_history(history, self.root / f"{name}.history.json")
+        entry = {
+            "history": f"{name}.history.json",
+            "algorithm": history.algorithm,
+            "rounds": history.num_rounds,
+            "final_accuracy": history.final_accuracy if history.records else None,
+            "total_bytes": history.total_bytes,
+        }
+        if model is not None:
+            save_model(model, self.root / f"{name}.weights.bin")
+            entry["weights"] = f"{name}.weights.bin"
+        manifest = self._read_manifest()
+        manifest[name] = entry
+        self._write_manifest(manifest)
+
+    def runs(self) -> list[str]:
+        return sorted(self._read_manifest())
+
+    def load_history(self, name: str) -> RunHistory:
+        entry = self._read_manifest().get(name)
+        if entry is None:
+            raise KeyError(f"no checkpointed run named {name!r}")
+        return load_history(self.root / entry["history"])
+
+    def load_weights(self, name: str, into: "Module | None" = None):
+        entry = self._read_manifest().get(name)
+        if entry is None or "weights" not in entry:
+            raise KeyError(f"no checkpointed weights for {name!r}")
+        return load_model(self.root / entry["weights"], into)
+
+    def summary(self) -> str:
+        """Human-readable index of stored runs."""
+        manifest = self._read_manifest()
+        lines = [f"checkpoints in {self.root} ({len(manifest)} runs)"]
+        for name in sorted(manifest):
+            e = manifest[name]
+            acc = f"{e['final_accuracy']:.2%}" if e["final_accuracy"] is not None else "—"
+            lines.append(
+                f"  {name:30s} {e['algorithm']:9s} rounds={e['rounds']:<4d} "
+                f"final={acc} bytes={e['total_bytes']}"
+            )
+        return "\n".join(lines)

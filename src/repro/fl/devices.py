@@ -1,0 +1,98 @@
+"""Edge-device resource profiles and resource-aware model assignment.
+
+The paper's multi-model experiment (Table 3) deploys ResNet-20/32/44 "to
+edge clients according to their computational resources". The sandbox has no
+heterogeneous hardware, so device capability is *simulated* as a profile
+(memory + compute budget) attached to each client; the assignment policy
+picks the largest zoo model that fits each profile — exercising the same
+resource-aware code path the paper describes (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["DeviceProfile", "DEVICE_TIERS", "sample_device_profiles", "assign_models_by_resources"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Simulated edge-device capability.
+
+    Attributes
+    ----------
+    name:
+        Tier label.
+    memory_mb:
+        Model-weight budget (fp32 MB) the device can hold.
+    compute_gflops:
+        Rough per-second compute budget (relative units — only the ordering
+        matters for assignment).
+    """
+
+    name: str
+    memory_mb: float
+    compute_gflops: float
+
+
+# Three tiers mirroring the paper's three model sizes.
+DEVICE_TIERS: tuple[DeviceProfile, ...] = (
+    DeviceProfile("iot-small", memory_mb=1.5, compute_gflops=0.5),
+    DeviceProfile("mobile-mid", memory_mb=2.5, compute_gflops=2.0),
+    DeviceProfile("edge-large", memory_mb=8.0, compute_gflops=8.0),
+)
+
+
+def sample_device_profiles(
+    num_clients: int,
+    seed: int = 0,
+    tier_probs: "tuple[float, ...] | None" = None,
+) -> list[DeviceProfile]:
+    """Assign each client a device tier (uniform by default)."""
+    rng = new_rng(seed, "sampling", 991)
+    p = None
+    if tier_probs is not None:
+        if len(tier_probs) != len(DEVICE_TIERS):
+            raise ValueError("tier_probs must match the number of tiers")
+        p = np.asarray(tier_probs, dtype=np.float64)
+        p = p / p.sum()
+    picks = rng.choice(len(DEVICE_TIERS), size=num_clients, p=p)
+    return [DEVICE_TIERS[i] for i in picks]
+
+
+def assign_models_by_resources(
+    profiles: "list[DeviceProfile]",
+    model_sizes_mb: "dict[str, float]",
+) -> list[str]:
+    """Pick, per client, the largest model whose weights fit its memory.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`DeviceProfile` per client.
+    model_sizes_mb:
+        Candidate model name → fp32 payload MB (from
+        ``model_payload_mb``). Must contain at least one model that fits the
+        smallest profile, else that client cannot participate — we raise.
+
+    Returns
+    -------
+    One model name per client.
+    """
+    if not model_sizes_mb:
+        raise ValueError("no candidate models given")
+    ordered = sorted(model_sizes_mb.items(), key=lambda kv: kv[1])  # small → large
+    assignment: list[str] = []
+    for prof in profiles:
+        fitting = [name for name, mb in ordered if mb <= prof.memory_mb]
+        if not fitting:
+            raise ValueError(
+                f"device {prof.name!r} ({prof.memory_mb} MB) cannot hold any of "
+                f"{list(model_sizes_mb)}"
+            )
+        assignment.append(fitting[-1])
+    return assignment

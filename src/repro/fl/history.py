@@ -1,0 +1,119 @@
+"""Run history: one record per communication round.
+
+The experiment harness turns these series into the paper's tables and
+figures, so the record captures exactly the measured axes: global accuracy,
+cumulative communication bytes, and (for multi-model runs) average local
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "RunHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Measurements at the end of one communication round."""
+
+    round_idx: int  # 1-based
+    accuracy: float
+    loss: float
+    cum_bytes: int
+    round_bytes: int
+    num_selected: int
+    local_accuracy: float | None = None
+    wall_time: float = 0.0
+
+
+@dataclass
+class RunHistory:
+    """Accuracy / communication series for one FL run."""
+
+    algorithm: str
+    model: str
+    num_clients: int
+    sample_ratio: float
+    records: list[RoundRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_idx != self.records[-1].round_idx + 1:
+            raise ValueError("round records must be appended sequentially")
+        self.records.append(record)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.records)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([r.accuracy for r in self.records])
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.loss for r in self.records])
+
+    @property
+    def cum_bytes(self) -> np.ndarray:
+        return np.array([r.cum_bytes for r in self.records], dtype=np.int64)
+
+    @property
+    def local_accuracies(self) -> np.ndarray:
+        return np.array(
+            [r.local_accuracy if r.local_accuracy is not None else np.nan for r in self.records]
+        )
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        return float(self.accuracies.max())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.records[-1].cum_bytes) if self.records else 0
+
+    def bytes_at_round(self, round_1based: int) -> int:
+        """Cumulative traffic after ``round_1based`` rounds."""
+        if not 1 <= round_1based <= len(self.records):
+            raise IndexError(f"round {round_1based} outside history of {len(self.records)}")
+        return int(self.records[round_1based - 1].cum_bytes)
+
+    def round_cost_per_client_mb(self) -> float:
+        """Mean per-round, per-selected-client traffic in MB — the paper's
+        'Round/Client' column."""
+        if not self.records:
+            return 0.0
+        per = [r.round_bytes / max(r.num_selected, 1) for r in self.records]
+        return float(np.mean(per)) / 1e6
+
+    def to_dict(self) -> dict:
+        """Plain-dict export (JSON-serializable) for logging/analysis."""
+        return {
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "num_clients": self.num_clients,
+            "sample_ratio": self.sample_ratio,
+            "meta": dict(self.meta),
+            "rounds": [
+                {
+                    "round": r.round_idx,
+                    "accuracy": r.accuracy,
+                    "loss": r.loss,
+                    "cum_bytes": int(r.cum_bytes),
+                    "round_bytes": int(r.round_bytes),
+                    "num_selected": r.num_selected,
+                    "local_accuracy": r.local_accuracy,
+                    "wall_time": r.wall_time,
+                }
+                for r in self.records
+            ],
+        }

@@ -1,0 +1,84 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning library.
+
+This subpackage replaces PyTorch for the reproduction (no GPU frameworks are
+available offline). It provides a reverse-mode autograd engine over NumPy
+arrays (:mod:`repro.nn.tensor`), composite neural-network ops with
+hand-written backward passes (:mod:`repro.nn.functional`), layer modules,
+losses, optimizers, and the paper's model zoo (2-layer CNN, MLP, VGG-11,
+ResNet-20/32/44).
+
+Gradient correctness of every primitive is verified against central finite
+differences in ``tests/nn/test_gradcheck.py``.
+"""
+
+from repro.nn.autograd import is_grad_enabled, no_grad, set_grad_enabled
+from repro.nn.tensor import Tensor, tensor, zeros, ones, full, arange, randn, stack, concatenate
+from repro.nn import functional
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Linear,
+    Conv2d,
+    BatchNorm2d,
+    MaxPool2d,
+    AvgPool2d,
+    AdaptiveAvgPool2d,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    Dropout,
+    Flatten,
+    Identity,
+    Sequential,
+    ModuleList,
+)
+from repro.nn.loss import CrossEntropyLoss, KLDivLoss, MSELoss, SoftTargetKLLoss
+from repro.nn.serialization import (
+    state_dict_num_bytes,
+    state_dict_num_params,
+    dumps_state_dict,
+    loads_state_dict,
+    parameters_to_vector,
+    vector_to_parameters,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "stack",
+    "concatenate",
+    "no_grad",
+    "set_grad_enabled",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Sequential",
+    "ModuleList",
+    "CrossEntropyLoss",
+    "KLDivLoss",
+    "MSELoss",
+    "SoftTargetKLLoss",
+    "state_dict_num_bytes",
+    "state_dict_num_params",
+    "dumps_state_dict",
+    "loads_state_dict",
+    "parameters_to_vector",
+    "vector_to_parameters",
+]

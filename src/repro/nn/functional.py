@@ -1,0 +1,577 @@
+"""Composite neural-network ops with hand-written backward passes.
+
+Each function here is a *single* autograd node. Building softmax or a
+convolution out of primitive ops would create long graphs of temporaries;
+fusing them keeps the backward pass short and NumPy-vectorized (the hot loops
+are all BLAS matmuls on im2col buffers, per the HPC guide's "vectorize the
+bottleneck" rule).
+
+The KL-divergence helpers implement Eq. 2 of the paper, which drives both the
+deep-mutual-learning local update (Alg. 1) and the server-side ensemble
+distillation (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.nn import profiler
+from repro.nn.tensor import Tensor, unbroadcast
+
+__all__ = [
+    "linear",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "kl_div_with_logits",
+    "symmetric_kl_with_logits",
+    "mse_loss",
+    "conv2d",
+    "batch_norm2d",
+    "group_norm",
+    "layer_norm",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "dropout",
+    "gelu",
+    "leaky_relu",
+    "one_hot",
+    "im2col_indices",
+]
+
+# ---------------------------------------------------------------------- #
+# dense / classification heads
+# ---------------------------------------------------------------------- #
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` fused into one node.
+
+    ``x``: (N, in), ``weight``: (out, in), ``bias``: (out,).
+    """
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+    if profiler.is_counting():
+        n = x.data.shape[0]
+        profiler.add_flops("linear", 2 * n * weight.data.shape[0] * weight.data.shape[1])
+
+    if bias is None:
+
+        def bwd(g):
+            return g @ weight.data, g.T @ x.data
+
+        return Tensor._make(out, (x, weight), bwd)
+
+    def bwd_b(g):
+        return g @ weight.data, g.T @ x.data, g.sum(axis=0)
+
+    return Tensor._make(out, (x, weight, bias), bwd_b)
+
+
+def _stable_log_softmax(z: np.ndarray, axis: int) -> np.ndarray:
+    zmax = z.max(axis=axis, keepdims=True)
+    shifted = z - zmax
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted - lse
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    out = _stable_log_softmax(x.data, axis)
+    soft = np.exp(out)
+
+    def bwd(g):
+        return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    out = np.exp(_stable_log_softmax(x.data, axis))
+
+    def bwd(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector."""
+    labels = np.asarray(labels)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer labels (Eq. 1 of the paper).
+
+    Fused logits→loss node: backward is the textbook ``softmax - onehot``.
+    """
+    labels = np.asarray(labels)
+    n = logits.data.shape[0]
+    logp = _stable_log_softmax(logits.data, axis=1)
+    picked = logp[np.arange(n), labels]
+    if reduction == "mean":
+        loss = -picked.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        loss = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    soft = np.exp(logp)
+
+    def bwd(g):
+        grad = soft.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return (grad * (float(g) * scale),)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), bwd)
+
+
+def nll_loss(logp: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over precomputed log-probabilities."""
+    labels = np.asarray(labels)
+    n = logp.data.shape[0]
+    picked = logp.data[np.arange(n), labels]
+    if reduction == "mean":
+        loss = -picked.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        loss = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def bwd(g):
+        grad = np.zeros_like(logp.data)
+        grad[np.arange(n), labels] = -float(g) * scale
+        return (grad,)
+
+    return Tensor._make(np.asarray(loss, dtype=logp.dtype), (logp,), bwd)
+
+
+def kl_div_with_logits(
+    teacher_logits: Tensor | np.ndarray,
+    student_logits: Tensor,
+    temperature: float = 1.0,
+    reduction: str = "batchmean",
+) -> Tensor:
+    """``D_KL( softmax(teacher) || softmax(student) )`` — Eq. 2 of the paper.
+
+    The teacher distribution is treated as a constant (detached), matching
+    deep mutual learning where each network's update only differentiates
+    through its *own* logits. Gradient w.r.t. the student logits is the
+    exact ``(q - p) · scale / T``; the loss is *not* pre-multiplied by
+    Hinton's T² compensation — scale the loss weight if you want it.
+    """
+    t = teacher_logits.data if isinstance(teacher_logits, Tensor) else np.asarray(teacher_logits)
+    n = student_logits.data.shape[0]
+    tt = t / temperature
+    ss = student_logits.data / temperature
+    logp = _stable_log_softmax(tt, axis=1)
+    logq = _stable_log_softmax(ss, axis=1)
+    p = np.exp(logp)
+    kl = (p * (logp - logq)).sum(axis=1)
+    if reduction == "batchmean":
+        loss = kl.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        loss = kl.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    q = np.exp(logq)
+    # d loss / d student_logits = (q - p) * scale / T (exact; callers wanting
+    # Hinton's T² loss rescale multiply the loss weight themselves).
+    grad_base = (q - p) * (scale / temperature)
+
+    def bwd(g):
+        return (grad_base * float(g),)
+
+    return Tensor._make(np.asarray(loss, dtype=student_logits.dtype), (student_logits,), bwd)
+
+
+def symmetric_kl_with_logits(a_logits: Tensor, b_logits: Tensor) -> tuple[Tensor, Tensor]:
+    """Both directions of Eq. 2, each detached from the other network.
+
+    Returns ``(D_KL(b||a) for updating a, D_KL(a||b) for updating b)`` as in
+    Alg. 1 lines 6–7.
+    """
+    loss_a = kl_div_with_logits(b_logits.detach(), a_logits)
+    loss_b = kl_div_with_logits(a_logits.detach(), b_logits)
+    return loss_a, loss_b
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray, reduction: str = "mean") -> Tensor:
+    """Mean-squared error."""
+    t = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=pred.dtype)
+    diff = pred.data - t
+    if reduction == "mean":
+        loss = np.mean(diff * diff)
+        scale = 2.0 / diff.size
+    elif reduction == "sum":
+        loss = np.sum(diff * diff)
+        scale = 2.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def bwd(g):
+        return (diff * (float(g) * scale),)
+
+    return Tensor._make(np.asarray(loss, dtype=pred.dtype), (pred,), bwd)
+
+
+# ---------------------------------------------------------------------- #
+# convolution (im2col / col2im)
+# ---------------------------------------------------------------------- #
+
+
+@functools.lru_cache(maxsize=256)
+def im2col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Precompute gather indices turning (N,C,H,W) into im2col columns.
+
+    Returns ``(k, i, j, out_h, out_w)`` where indexing a padded input with
+    ``x[:, k, i, j]`` yields shape ``(N, C*kh*kw, out_h*out_w)``. Cached per
+    geometry — the FL simulator reuses a handful of shapes thousands of times.
+    """
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    n, c, h, w = x.shape
+    k, i, j, out_h, out_w = im2col_indices(c, h, w, kh, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = x[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    k, i, j, _, _ = im2col_indices(c, h, w, kh, kw, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution, NCHW layout, square kernel/stride/padding.
+
+    Forward and backward are both expressed as one big matmul over im2col
+    columns, so >95% of runtime lands in BLAS.
+    """
+    n, c, h, w = x.data.shape
+    oc, ic, kh, kw = weight.data.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {ic}")
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    w2 = weight.data.reshape(oc, -1)  # (OC, C*kh*kw)
+    out = np.einsum("of,nfl->nol", w2, cols, optimize=True)
+    if profiler.is_counting():
+        profiler.add_flops("conv2d", 2 * n * oc * out_h * out_w * c * kh * kw)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1)
+    out = out.reshape(n, oc, out_h, out_w)
+
+    def bwd(g):
+        gout = g.reshape(n, oc, -1)  # (N, OC, L)
+        gw = np.einsum("nol,nfl->of", gout, cols, optimize=True).reshape(weight.data.shape)
+        gcols = np.einsum("of,nol->nfl", w2, gout, optimize=True)
+        gx = _col2im(gcols, (n, c, h, w), kh, kw, stride, padding)
+        if bias is None:
+            return gx, gw
+        gb = gout.sum(axis=(0, 2))
+        return gx, gw, gb
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, bwd)
+
+
+# ---------------------------------------------------------------------- #
+# normalization
+# ---------------------------------------------------------------------- #
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over (N, H, W) per channel.
+
+    In training mode, batch statistics are used and ``running_*`` buffers are
+    updated in place (exponential moving average). In eval mode the running
+    statistics are used and the op is a plain affine transform.
+    """
+    n, c, h, w = x.data.shape
+    axes = (0, 2, 3)
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        m = n * h * w
+        # update running buffers in place (unbiased variance like torch)
+        unbiased = var * (m / max(m - 1, 1))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    if profiler.is_counting():
+        profiler.add_flops("batchnorm", 4 * x.data.size)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    mean4 = mean.reshape(1, c, 1, 1)
+    inv4 = inv_std.reshape(1, c, 1, 1)
+    xhat = (x.data - mean4) * inv4
+    out = gamma.data.reshape(1, c, 1, 1) * xhat + beta.data.reshape(1, c, 1, 1)
+
+    if training:
+
+        def bwd(g):
+            m = n * h * w
+            gamma4 = gamma.data.reshape(1, c, 1, 1)
+            dxhat = g * gamma4
+            # standard batchnorm backward
+            sum_dxhat = dxhat.sum(axis=axes, keepdims=True)
+            sum_dxhat_xhat = (dxhat * xhat).sum(axis=axes, keepdims=True)
+            gx = (inv4 / m) * (m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat)
+            ggamma = (g * xhat).sum(axis=axes)
+            gbeta = g.sum(axis=axes)
+            return gx.astype(x.dtype, copy=False), ggamma, gbeta
+
+    else:
+
+        def bwd(g):
+            gamma4 = gamma.data.reshape(1, c, 1, 1)
+            gx = g * gamma4 * inv4
+            ggamma = (g * xhat).sum(axis=axes)
+            gbeta = g.sum(axis=axes)
+            return gx.astype(x.dtype, copy=False), ggamma, gbeta
+
+    return Tensor._make(out.astype(x.dtype, copy=False), (x, gamma, beta), bwd)
+
+
+def _normalize_grads(g, xhat, inv_std, axes, m):
+    """Shared backward for statistics-normalizing ops (LN/GN/BN share it)."""
+    sum_g = g.sum(axis=axes, keepdims=True)
+    sum_g_xhat = (g * xhat).sum(axis=axes, keepdims=True)
+    return (inv_std / m) * (m * g - sum_g - xhat * sum_g_xhat)
+
+
+def group_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    num_groups: int,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Group normalization (Wu & He 2018) over (N, C, H, W).
+
+    Batch-size independent, so unlike BatchNorm it behaves identically on
+    tiny non-IID client shards — the standard FL-friendly normalizer
+    (offered as an extension; the paper's models use BN).
+    """
+    n, c, h, w = x.data.shape
+    if c % num_groups:
+        raise ValueError(f"channels ({c}) not divisible by groups ({num_groups})")
+    gshape = (n, num_groups, c // num_groups, h, w)
+    xg = x.data.reshape(gshape)
+    axes = (2, 3, 4)
+    mean = xg.mean(axis=axes, keepdims=True)
+    var = xg.var(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat_g = (xg - mean) * inv_std
+    xhat = xhat_g.reshape(n, c, h, w)
+    out = gamma.data.reshape(1, c, 1, 1) * xhat + beta.data.reshape(1, c, 1, 1)
+    m = (c // num_groups) * h * w
+    if profiler.is_counting():
+        profiler.add_flops("groupnorm", 4 * x.data.size)
+
+    def bwd(g):
+        dxhat = (g * gamma.data.reshape(1, c, 1, 1)).reshape(gshape)
+        gx = _normalize_grads(dxhat, xhat_g, inv_std, axes, m).reshape(n, c, h, w)
+        ggamma = (g * xhat).sum(axis=(0, 2, 3))
+        gbeta = g.sum(axis=(0, 2, 3))
+        return gx.astype(x.dtype, copy=False), ggamma, gbeta
+
+    return Tensor._make(out.astype(x.dtype, copy=False), (x, gamma, beta), bwd)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis of (N, D) features."""
+    if x.data.ndim != 2:
+        raise ValueError(f"layer_norm expects (N, D) input; got {x.data.shape}")
+    d = x.data.shape[1]
+    mean = x.data.mean(axis=1, keepdims=True)
+    var = x.data.var(axis=1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean) * inv_std
+    out = gamma.data * xhat + beta.data
+    if profiler.is_counting():
+        profiler.add_flops("layernorm", 4 * x.data.size)
+
+    def bwd(g):
+        dxhat = g * gamma.data
+        gx = _normalize_grads(dxhat, xhat, inv_std, (1,), d)
+        return (
+            gx.astype(x.dtype, copy=False),
+            (g * xhat).sum(axis=0),
+            g.sum(axis=0),
+        )
+
+    return Tensor._make(out.astype(x.dtype, copy=False), (x, gamma, beta), bwd)
+
+
+# ---------------------------------------------------------------------- #
+# pooling
+# ---------------------------------------------------------------------- #
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling; fast path requires ``kernel_size == stride`` and
+    spatial dims divisible by the kernel (true for every model in the zoo).
+    """
+    k = kernel_size
+    s = stride if stride is not None else k
+    n, c, h, w = x.data.shape
+    if s != k or h % k or w % k:
+        raise NotImplementedError(
+            f"max_pool2d supports kernel==stride with divisible dims; got "
+            f"k={k}, s={s}, h={h}, w={w}"
+        )
+    oh, ow = h // k, w // k
+    if profiler.is_counting():
+        profiler.add_flops("pool", x.data.size)
+    windows = x.data.reshape(n, c, oh, k, ow, k)
+    out = windows.max(axis=(3, 5))
+    mask = windows == out.reshape(n, c, oh, 1, ow, 1)
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+
+    def bwd(g):
+        g6 = g.reshape(n, c, oh, 1, ow, 1)
+        gx = (mask * g6 / counts).reshape(n, c, h, w)
+        return (gx.astype(x.dtype, copy=False),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling; same fast-path constraints as :func:`max_pool2d`."""
+    k = kernel_size
+    s = stride if stride is not None else k
+    n, c, h, w = x.data.shape
+    if s != k or h % k or w % k:
+        raise NotImplementedError(
+            f"avg_pool2d supports kernel==stride with divisible dims; got "
+            f"k={k}, s={s}, h={h}, w={w}"
+        )
+    oh, ow = h // k, w // k
+    if profiler.is_counting():
+        profiler.add_flops("pool", x.data.size)
+    out = x.data.reshape(n, c, oh, k, ow, k).mean(axis=(3, 5))
+
+    def bwd(g):
+        g6 = g.reshape(n, c, oh, 1, ow, 1) / (k * k)
+        gx = np.broadcast_to(g6, (n, c, oh, k, ow, k)).reshape(n, c, h, w)
+        return (gx.astype(x.dtype, copy=False),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only global (1×1) output is needed here."""
+    if output_size != 1:
+        raise NotImplementedError("only global adaptive average pooling is supported")
+    n, c, h, w = x.data.shape
+    if profiler.is_counting():
+        profiler.add_flops("pool", x.data.size)
+    out = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def bwd(g):
+        gx = np.broadcast_to(g / (h * w), (n, c, h, w))
+        return (gx.astype(x.dtype, copy=False),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+# ---------------------------------------------------------------------- #
+# regularization
+# ---------------------------------------------------------------------- #
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU, tanh approximation (Hendrycks & Gimpel 2016).
+
+    y = 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³))); backward is the exact
+    derivative of this approximation.
+    """
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    a = np.float32(0.044715)
+    x3 = x.data**3
+    inner = c * (x.data + a * x3)
+    t = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + t)
+
+    def bwd(g):
+        sech2 = 1.0 - t * t
+        dinner = c * (1.0 + 3.0 * a * x.data * x.data)
+        grad = 0.5 * (1.0 + t) + 0.5 * x.data * sech2 * dinner
+        return (g * grad.astype(x.dtype, copy=False),)
+
+    return Tensor._make(out.astype(x.dtype, copy=False), (x,), bwd)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU: x for x>0, slope·x otherwise."""
+    mask = x.data > 0
+    scale = np.where(mask, np.float32(1.0), np.float32(negative_slope))
+    out = x.data * scale
+    return Tensor._make(out, (x,), lambda g: (g * scale,))
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity in eval mode, scaled mask in training."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.data.shape) < keep).astype(x.dtype) / keep
+    out = x.data * mask
+    return Tensor._make(out, (x,), lambda g: (g * mask,))

@@ -1,0 +1,62 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, m in enumerate(modules):
+            setattr(self, str(i), m)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for m in self._modules.values():
+            x = m(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of modules registered for traversal; not callable itself."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for i, m in enumerate(modules):
+            setattr(self, str(i), m)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - guard
+        raise RuntimeError("ModuleList is not callable; iterate over it instead")

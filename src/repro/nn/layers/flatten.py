@@ -1,0 +1,32 @@
+"""Shape utility layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["Flatten", "Identity"]
+
+
+class Flatten(Module):
+    """Flatten trailing dims from ``start_dim`` (default: keep batch dim)."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_from(self.start_dim)
+
+    def __repr__(self) -> str:
+        return f"Flatten(start_dim={self.start_dim})"
+
+
+class Identity(Module):
+    """No-op module (used for ResNet identity shortcuts)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

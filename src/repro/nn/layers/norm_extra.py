@@ -1,0 +1,57 @@
+"""Batch-independent normalization layers (FL-friendly extension).
+
+BatchNorm couples normalization statistics to the local batch — on tiny,
+label-skewed federated shards that both destabilizes training and leaks
+client statistics into the aggregated buffers. GroupNorm/LayerNorm compute
+statistics per sample, making client models exchangeable regardless of
+shard size. Offered as drop-in alternatives; the paper's reference models
+keep BN.
+"""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["GroupNorm", "LayerNorm"]
+
+
+class GroupNorm(Module):
+    """Group normalization over (N, C, H, W) with learnable affine."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_groups < 1 or num_channels % num_groups:
+            raise ValueError(
+                f"num_channels ({num_channels}) must be divisible by num_groups ({num_groups})"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_channels,)))
+        self.beta = Parameter(init.zeros((num_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.group_norm(x, self.gamma, self.beta, self.num_groups, self.eps)
+
+    def __repr__(self) -> str:
+        return f"GroupNorm({self.num_groups}, {self.num_channels}, eps={self.eps})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature axis of (N, D)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.gamma = Parameter(init.ones((normalized_shape,)))
+        self.beta = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

@@ -1,0 +1,72 @@
+"""Loss modules wrapping :mod:`repro.nn.functional` criteria."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "KLDivLoss", "MSELoss", "SoftTargetKLLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy with integer class labels (paper Eq. 1)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels, reduction=self.reduction)
+
+
+class KLDivLoss(Module):
+    """``D_KL(softmax(teacher) || softmax(student))`` over logits (paper Eq. 2).
+
+    The teacher side is detached — each network in deep mutual learning only
+    differentiates through its own logits (Alg. 1 lines 6–7).
+    """
+
+    def __init__(self, temperature: float = 1.0, reduction: str = "batchmean") -> None:
+        super().__init__()
+        self.temperature = temperature
+        self.reduction = reduction
+
+    def forward(self, teacher_logits: Tensor | np.ndarray, student_logits: Tensor) -> Tensor:
+        return F.kl_div_with_logits(
+            teacher_logits,
+            student_logits,
+            temperature=self.temperature,
+            reduction=self.reduction,
+        )
+
+
+class SoftTargetKLLoss(Module):
+    """KL divergence from fixed teacher *probabilities* to student logits.
+
+    Used for server-side ensemble distillation (Eq. 4) where the teacher is
+    an ensemble whose output is already a probability/logit aggregate.
+    """
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        super().__init__()
+        self.temperature = temperature
+
+    def forward(self, teacher_probs: np.ndarray, student_logits: Tensor) -> Tensor:
+        # Convert probabilities to logits (log) so the fused KL node applies;
+        # add an epsilon to survive exact zeros from max-logit ensembles.
+        teacher_logits = np.log(np.clip(teacher_probs, 1e-12, None))
+        return F.kl_div_with_logits(teacher_logits, student_logits, temperature=self.temperature)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        return F.mse_loss(pred, target, reduction=self.reduction)

@@ -1,0 +1,67 @@
+"""The 2-layer CNN used for the MNIST rows of Figure 4.
+
+Architecture follows the LEAF / non-IID-benchmark convention (Caldas et al.
+2019; Li et al. 2021): two 5×5 conv + max-pool stages (32 and 64 channels)
+and a 512-unit hidden linear layer. Pool stages are applied only when the
+spatial size divides evenly, so reduced image sizes build cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["CNN2Layer"]
+
+
+class CNN2Layer(Module):
+    """Two conv/pool stages + two linear layers.
+
+    Parameters
+    ----------
+    num_classes, in_channels, image_size:
+        Task shape (MNIST default: 10 classes, 1×28×28).
+    width_mult:
+        Scales conv widths (32, 64) and the hidden linear width (512).
+    seed:
+        Weight-init seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        image_size: int = 28,
+        width_mult: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c1 = max(1, int(round(32 * width_mult)))
+        c2 = max(1, int(round(64 * width_mult)))
+        hidden = max(8, int(round(512 * width_mult)))
+
+        spatial = image_size
+        layers: list[Module] = [Conv2d(in_channels, c1, 5, stride=1, padding=2, bias=True, rng=rng), ReLU()]
+        if spatial % 2 == 0:
+            layers.append(MaxPool2d(2))
+            spatial //= 2
+        layers += [Conv2d(c1, c2, 5, stride=1, padding=2, bias=True, rng=rng), ReLU()]
+        if spatial % 2 == 0:
+            layers.append(MaxPool2d(2))
+            spatial //= 2
+        self.features = Sequential(*layers)
+        self.flatten = Flatten()
+        self.fc1 = Linear(c2 * spatial * spatial, hidden, rng=rng)
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.flatten(self.features(x))
+        out = self.fc1(out).relu()
+        return self.fc2(out)
+
+    def __repr__(self) -> str:
+        return f"CNN2Layer(params={self.num_parameters()})"

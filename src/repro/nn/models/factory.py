@@ -1,0 +1,98 @@
+"""Model registry and the string-name builder used by experiment configs.
+
+The paper's tables refer to models by name ("ResNet-20", "VGG-11", ...);
+:func:`build_model` maps those names to constructors with a uniform
+signature so configs stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.module import Module
+from repro.nn.models.cnn import CNN2Layer
+from repro.nn.models.mlp import MLP
+from repro.nn.models.resnet import CifarResNet
+from repro.nn.models.vgg import VGG
+from repro.utils.registry import Registry
+
+__all__ = ["MODEL_REGISTRY", "build_model", "model_payload_mb"]
+
+ModelBuilder = Callable[..., Module]
+
+MODEL_REGISTRY: Registry[ModelBuilder] = Registry("model")
+
+
+@MODEL_REGISTRY.register("resnet-20", "resnet20")
+def _resnet20(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return CifarResNet(20, num_classes, in_channels, width_mult, seed)
+
+
+@MODEL_REGISTRY.register("resnet-32", "resnet32")
+def _resnet32(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return CifarResNet(32, num_classes, in_channels, width_mult, seed)
+
+
+@MODEL_REGISTRY.register("resnet-44", "resnet44")
+def _resnet44(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return CifarResNet(44, num_classes, in_channels, width_mult, seed)
+
+
+@MODEL_REGISTRY.register("resnet-56", "resnet56")
+def _resnet56(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return CifarResNet(56, num_classes, in_channels, width_mult, seed)
+
+
+@MODEL_REGISTRY.register("vgg-11", "vgg11")
+def _vgg11(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return VGG("vgg11", num_classes, in_channels, image_size, width_mult, seed=seed)
+
+
+@MODEL_REGISTRY.register("vgg-13", "vgg13")
+def _vgg13(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return VGG("vgg13", num_classes, in_channels, image_size, width_mult, seed=seed)
+
+
+@MODEL_REGISTRY.register("vgg-16", "vgg16")
+def _vgg16(num_classes=10, in_channels=3, image_size=32, width_mult=1.0, seed=None) -> Module:
+    return VGG("vgg16", num_classes, in_channels, image_size, width_mult, seed=seed)
+
+
+@MODEL_REGISTRY.register("cnn-2", "cnn2", "2-layer-cnn")
+def _cnn2(num_classes=10, in_channels=1, image_size=28, width_mult=1.0, seed=None) -> Module:
+    return CNN2Layer(num_classes, in_channels, image_size, width_mult, seed)
+
+
+@MODEL_REGISTRY.register("mlp")
+def _mlp(num_classes=10, in_channels=1, image_size=28, width_mult=1.0, seed=None) -> Module:
+    hidden = max(8, int(round(64 * width_mult)))
+    return MLP(in_channels * image_size * image_size, num_classes, (hidden,), seed)
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    width_mult: float = 1.0,
+    seed: int | None = None,
+) -> Module:
+    """Construct a zoo model by name with a uniform signature.
+
+    >>> m = build_model("resnet-20", seed=0)
+    >>> m.num_parameters() > 2.5e5
+    True
+    """
+    builder = MODEL_REGISTRY.get(name)
+    return builder(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        image_size=image_size,
+        width_mult=width_mult,
+        seed=seed,
+    )
+
+
+def model_payload_mb(model: Module) -> float:
+    """Serialized model size in MB (1 MB = 1e6 bytes, as the paper's tables)."""
+    return model.num_bytes() / 1e6

@@ -1,0 +1,47 @@
+"""Multi-layer perceptron — a minimal architecture for tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Flatten → (Linear → ReLU)* → Linear.
+
+    Parameters
+    ----------
+    in_features:
+        Flat input width (``C*H*W`` for images).
+    num_classes:
+        Output width.
+    hidden:
+        Tuple of hidden widths; empty means logistic regression.
+    seed:
+        Weight-init seed.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int = 10,
+        hidden: tuple[int, ...] = (64,),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = [Flatten()]
+        prev = in_features
+        for h in hidden:
+            layers += [Linear(prev, h, rng=rng), ReLU()]
+            prev = h
+        layers.append(Linear(prev, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

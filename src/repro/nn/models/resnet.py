@@ -1,0 +1,137 @@
+"""CIFAR-style ResNets (He et al. 2016, §4.2): ResNet-20/32/44/56.
+
+Topology: 3×3 conv stem → three stages of ``n`` BasicBlocks with widths
+(16, 32, 64)·width_mult and strides (1, 2, 2) → global average pool →
+linear classifier, where depth = 6n + 2. Shortcuts are identity within a
+stage and 1×1 projection (option B) at stage boundaries.
+
+ResNet-20 doubles as the paper's *knowledge network*: its fp32 payload
+(~0.27 M params ≈ 1.05 MB, 2.1 MB per up+down round) is the constant that
+drives every FedKEMF row of Tables 1–2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["BasicBlock", "CifarResNet", "resnet20", "resnet32", "resnet44", "resnet56"]
+
+
+class BasicBlock(Module):
+    """Two 3×3 convs with BN and a residual connection."""
+
+    def __init__(
+        self,
+        in_planes: int,
+        planes: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_planes, planes, 3, stride=stride, padding=1, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.conv2 = Conv2d(planes, planes, 3, stride=1, padding=1, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        if stride != 1 or in_planes != planes:
+            self.shortcut = Sequential(
+                Conv2d(in_planes, planes, 1, stride=stride, padding=0, rng=rng),
+                BatchNorm2d(planes),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return out.relu()
+
+
+class CifarResNet(Module):
+    """CIFAR ResNet of depth ``6n + 2``.
+
+    Parameters
+    ----------
+    depth:
+        20, 32, 44, 56, ... (must be ``6n + 2``).
+    num_classes, in_channels:
+        Task shape.
+    width_mult:
+        Scales stage widths (16, 32, 64); fractional values are rounded up
+        to at least 1 channel. Paper scale is 1.0.
+    seed:
+        Weight-init seed (deterministic builds for paired FL comparisons).
+    """
+
+    def __init__(
+        self,
+        depth: int = 20,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError(f"CIFAR ResNet depth must be 6n+2; got {depth}")
+        n = (depth - 2) // 6
+        self.depth = depth
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+        widths = [max(1, int(round(w * width_mult))) for w in (16, 32, 64)]
+
+        self.stem = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, rng=rng)
+        self.bn_stem = BatchNorm2d(widths[0])
+
+        blocks: list[Module] = []
+        in_planes = widths[0]
+        for stage, (planes, stride) in enumerate(zip(widths, (1, 2, 2))):
+            for b in range(n):
+                blocks.append(BasicBlock(in_planes, planes, stride if b == 0 else 1, rng))
+                in_planes = planes
+        self.blocks = Sequential(*blocks)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        self.fc = Linear(in_planes, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn_stem(self.stem(x)).relu()
+        out = self.blocks(out)
+        out = self.flatten(self.pool(out))
+        return self.fc(out)
+
+    def __repr__(self) -> str:
+        return f"CifarResNet(depth={self.depth}, params={self.num_parameters()})"
+
+
+def resnet20(**kwargs) -> CifarResNet:
+    """ResNet-20 (~0.27 M params at width 1) — also the knowledge network."""
+    return CifarResNet(depth=20, **kwargs)
+
+
+def resnet32(**kwargs) -> CifarResNet:
+    """ResNet-32 (~0.47 M params at width 1)."""
+    return CifarResNet(depth=32, **kwargs)
+
+
+def resnet44(**kwargs) -> CifarResNet:
+    """ResNet-44 (~0.66 M params at width 1) — largest multi-model tier."""
+    return CifarResNet(depth=44, **kwargs)
+
+
+def resnet56(**kwargs) -> CifarResNet:
+    """ResNet-56 (extension beyond the paper's tiers)."""
+    return CifarResNet(depth=56, **kwargs)

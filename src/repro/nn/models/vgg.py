@@ -1,0 +1,98 @@
+"""CIFAR-style VGG (Simonyan & Zisserman 2015) with batch norm.
+
+VGG-11 is the paper's large over-parameterized edge model (~9.2 M params at
+width 1 → ~37 MB fp32), the configuration where FedKEMF's constant
+knowledge-network payload yields its headline 51–102× communication
+reduction.
+
+Max-pool stages are applied only while the spatial size remains divisible,
+so the same config builds at 32×32 (all five pools) and at the scaled-down
+sizes used for CPU runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["VGG", "vgg11", "VGG_CONFIGS"]
+
+# Standard VGG configurations ("M" = 2×2 max pool).
+VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    """VGG with BN and a single-linear classifier head (CIFAR convention).
+
+    Parameters mirror :class:`repro.nn.models.resnet.CifarResNet`.
+    """
+
+    def __init__(
+        self,
+        config: str = "vgg11",
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        dropout: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if config not in VGG_CONFIGS:
+            raise ValueError(f"unknown VGG config {config!r}; options: {sorted(VGG_CONFIGS)}")
+        self.config = config
+        rng = np.random.default_rng(seed)
+
+        layers: list[Module] = []
+        channels = in_channels
+        spatial = image_size
+        for item in VGG_CONFIGS[config]:
+            if item == "M":
+                if spatial >= 2 and spatial % 2 == 0:
+                    layers.append(MaxPool2d(2))
+                    spatial //= 2
+                # otherwise skip the pool — spatial floor reached at small scale
+                continue
+            out_c = max(1, int(round(item * width_mult)))
+            layers.append(Conv2d(channels, out_c, 3, stride=1, padding=1, rng=rng))
+            layers.append(BatchNorm2d(out_c))
+            layers.append(ReLU())
+            channels = out_c
+        self.features = Sequential(*layers)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        head: list[Module] = []
+        if dropout > 0:
+            head.append(Dropout(dropout))
+        head.append(Linear(channels, num_classes, rng=rng))
+        self.classifier = Sequential(*head)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.flatten(self.pool(out))
+        return self.classifier(out)
+
+    def __repr__(self) -> str:
+        return f"VGG(config={self.config!r}, params={self.num_parameters()})"
+
+
+def vgg11(**kwargs) -> VGG:
+    """VGG-11 with batch norm (~9.2 M params at width 1)."""
+    return VGG(config="vgg11", **kwargs)

@@ -1,0 +1,183 @@
+"""``Module`` / ``Parameter`` — the layer composition system.
+
+Mirrors the familiar torch.nn.Module contract: attribute assignment of
+``Parameter`` / ``Module`` objects registers them, ``state_dict`` returns an
+ordered mapping of NumPy arrays (parameters *and* buffers such as BatchNorm
+running statistics — FL weight aggregation must average those buffers too),
+and ``train()`` / ``eval()`` toggle mode recursively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, dtype={self.dtype})"
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(sub)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(sub)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), b
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(sub)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def num_bytes(self) -> int:
+        """Serialized payload size: parameters + buffers, raw dtype bytes.
+
+        This is the quantity the paper's communication-cost tables meter
+        (e.g. ResNet-20 ≈ 1.05 MB of fp32 weights → 2.1 MB per up+down round).
+        """
+        total = sum(p.data.nbytes for p in self.parameters())
+        total += sum(b.nbytes for _, b in self.named_buffers())
+        return total
+
+    # ------------------------------------------------------------------ #
+    # mode / gradient management
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        for m in self.modules():
+            fn(m)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # state dict
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self, copy: bool = True) -> "OrderedDict[str, np.ndarray]":
+        """Flat mapping name → array of all parameters and buffers."""
+        out: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy() if copy else p.data
+        for name, b in self.named_buffers():
+            out[name] = b.copy() if copy else b
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays produced by :meth:`state_dict` (in place)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - set(own_params) - set(own_buffers)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own_params.items():
+            if name in state:
+                src = np.asarray(state[name], dtype=p.data.dtype)
+                if src.shape != p.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: {src.shape} vs {p.data.shape}"
+                    )
+                p.data[...] = src
+        for name, b in own_buffers.items():
+            if name in state:
+                src = np.asarray(state[name], dtype=b.dtype)
+                if src.shape != b.shape:
+                    raise ValueError(
+                        f"shape mismatch for buffer {name!r}: {src.shape} vs {b.shape}"
+                    )
+                b[...] = src
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_reprs = [f"  ({n}): {m.__class__.__name__}" for n, m in self._modules.items()]
+        inner = "\n".join(child_reprs)
+        if inner:
+            return f"{self.__class__.__name__}(\n{inner}\n)"
+        return f"{self.__class__.__name__}()"

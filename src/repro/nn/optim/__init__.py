@@ -1,0 +1,16 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.nn.optim.optimizer import Optimizer, clip_grad_norm
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.scheduler import StepLR, CosineAnnealingLR, ConstantLR
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ConstantLR",
+]

@@ -1,0 +1,57 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction and optional weight decay.
+
+    Used for the server-side ensemble-distillation solver where a few epochs
+    on the public set must converge fast.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        self.steps += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self.steps
+        bc2 = 1.0 - b2**self.steps
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            self._m[i], self._v[i] = m, v
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

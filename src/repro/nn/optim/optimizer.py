@@ -1,0 +1,57 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate.
+
+    Subclasses implement :meth:`step`, updating ``p.data`` in place (the HPC
+    guide's in-place rule: parameter updates never reallocate).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive; got {lr}")
+        self.lr = float(lr)
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Optimizer hyper/slot state for checkpointing (stateful FL clients)."""
+        return {"lr": self.lr, "steps": self.steps}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.steps = int(state["steps"])
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip the global L2 gradient norm in place; returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = math.sqrt(sum(float(np.sum(p.grad.astype(np.float64) ** 2)) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

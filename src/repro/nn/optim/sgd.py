@@ -1,0 +1,66 @@
+"""Stochastic gradient descent with momentum / Nesterov / weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD matching torch semantics.
+
+    ``v ← μ v + (g + λ θ)``; ``θ ← θ − lr·v`` (or the Nesterov variant).
+    The local solver for every FL algorithm in the paper.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                if v is None:
+                    v = g.astype(p.data.dtype).copy()
+                else:
+                    v *= self.momentum
+                    v += g
+                self._velocity[i] = v
+                g = (g + self.momentum * v) if self.nesterov else v
+            p.data -= self.lr * g
+        self.steps += 1
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [None if v is None else v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        vel = state.get("velocity")
+        if vel is not None:
+            self._velocity = [None if v is None else v.copy() for v in vel]

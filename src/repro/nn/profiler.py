@@ -1,0 +1,101 @@
+"""FLOP accounting for the NumPy engine.
+
+Enabling :func:`count_flops` makes the composite ops in
+:mod:`repro.nn.functional` report their multiply-accumulate work to a
+thread-local counter during a real forward pass, so counts are exact for
+*any* model built from the layer zoo — no per-architecture formulas to keep
+in sync.
+
+Convention: one multiply-accumulate = 2 FLOPs (the usual deep-learning
+accounting); normalization/activation traffic is counted at one FLOP per
+element pass.
+
+This powers the resource-aware system model (:mod:`repro.fl.latency`):
+device tiers are specified in GFLOP/s, so per-round edge compute time is
+``flops / (gflops · 10⁹)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["FlopCounter", "count_flops", "flops_forward", "flops_training_step", "add_flops", "is_counting"]
+
+_active: "FlopCounter | None" = None
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates FLOPs by op kind."""
+
+    total: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def add(self, kind: str, flops: int) -> None:
+        self.total += flops
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + flops
+
+
+def is_counting() -> bool:
+    return _active is not None
+
+
+def add_flops(kind: str, flops: int) -> None:
+    """Called by instrumented ops; a no-op unless a counter is active."""
+    if _active is not None:
+        _active.add(kind, int(flops))
+
+
+@contextlib.contextmanager
+def count_flops() -> Iterator[FlopCounter]:
+    """Activate FLOP accounting within the block.
+
+    >>> from repro.nn.models import MLP
+    >>> from repro.nn.tensor import Tensor
+    >>> import numpy as np
+    >>> m = MLP(8, 4, hidden=(16,), seed=0)
+    >>> with count_flops() as fc:
+    ...     _ = m(Tensor(np.zeros((1, 8), dtype=np.float32)))
+    >>> fc.total > 0
+    True
+    """
+    global _active
+    prev = _active
+    counter = FlopCounter()
+    _active = counter
+    try:
+        yield counter
+    finally:
+        _active = prev
+
+
+def flops_forward(model, input_shape: tuple[int, ...]) -> int:
+    """Exact forward-pass FLOPs of ``model`` for one batch of ``input_shape``.
+
+    Runs a real (grad-free) forward pass on zeros with counting enabled.
+    """
+    from repro.nn.autograd import no_grad
+    from repro.nn.tensor import Tensor
+
+    was_training = model.training
+    model.eval()
+    x = Tensor(np.zeros(input_shape, dtype=np.float32))
+    with no_grad(), count_flops() as fc:
+        model(x)
+    if was_training:
+        model.train()
+    return fc.total
+
+
+def flops_training_step(model, input_shape: tuple[int, ...]) -> int:
+    """Estimated FLOPs of one forward+backward step.
+
+    The backward pass of a conv/dense net costs ≈ 2× the forward pass
+    (gradient w.r.t. inputs + gradient w.r.t. weights), giving the standard
+    3× total used across the systems literature.
+    """
+    return 3 * flops_forward(model, input_shape)

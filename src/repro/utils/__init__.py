@@ -1,0 +1,16 @@
+"""Shared utilities: seeded RNG management, registries, timers, logging."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs, temp_seed
+from repro.utils.registry import Registry
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "temp_seed",
+    "Registry",
+    "Timer",
+    "get_logger",
+]

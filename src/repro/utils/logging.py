@@ -1,0 +1,40 @@
+"""Lightweight structured logging.
+
+The FL simulator emits one record per communication round; verbosity is
+controlled with the ``REPRO_LOG`` environment variable (``quiet``, ``info``,
+``debug``; default ``quiet`` so pytest output stays readable).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger"]
+
+_LEVELS = {"quiet": logging.WARNING, "info": logging.INFO, "debug": logging.DEBUG}
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    level = _LEVELS.get(os.environ.get("REPRO_LOG", "quiet").lower(), logging.WARNING)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        root.addHandler(handler)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

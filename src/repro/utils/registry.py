@@ -1,0 +1,71 @@
+"""A tiny name → factory registry.
+
+Used for model architectures, FL algorithms, partitioners and ensemble
+strategies so that experiment configs can refer to components by string name
+(as the paper's tables do: "FedAvg", "ResNet-20", "max logits", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Generic[T]):
+    """Case-insensitive mapping from names to factories.
+
+    >>> models = Registry("model")
+    >>> @models.register("resnet-20")
+    ... def build(**kw):
+    ...     return object()
+    >>> models.get("ResNet-20") is build
+    True
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.strip().lower().replace("_", "-")
+
+    def register(self, name: str, *aliases: str) -> Callable[[T], T]:
+        """Decorator registering ``obj`` under ``name`` (and ``aliases``)."""
+
+        def deco(obj: T) -> T:
+            for n in (name, *aliases):
+                key = self._norm(n)
+                if key in self._entries:
+                    raise KeyError(f"duplicate {self.kind} registration: {n!r}")
+                self._entries[key] = obj
+            return obj
+
+        return deco
+
+    def add(self, name: str, obj: T) -> None:
+        """Imperative registration."""
+        key = self._norm(name)
+        if key in self._entries:
+            raise KeyError(f"duplicate {self.kind} registration: {name!r}")
+        self._entries[key] = obj
+
+    def get(self, name: str) -> T:
+        key = self._norm(name)
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return self._norm(name) in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec, make_blobs
+from repro.experiments.configs import Scale
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """An 8×8 3-channel 4-class synthetic world shared across tests."""
+    spec = SyntheticSpec(num_classes=4, channels=3, image_size=8, noise_std=0.2)
+    return SyntheticImageDataset(spec, seed=0)
+
+
+@pytest.fixture(scope="session")
+def blobs_train():
+    return make_blobs(200, num_classes=4, dim=8, separation=4.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def blobs_test():
+    return make_blobs(80, num_classes=4, dim=8, separation=4.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def micro_scale():
+    """A runner scale small enough for per-test experiment runs (seconds)."""
+    return Scale(
+        name="micro",
+        image_size=8,
+        mnist_image_size=8,
+        width_mult={"resnet": 0.125, "vgg": 0.0625, "cnn": 0.125, "mlp": 0.25},
+        n_train=160,
+        n_test=60,
+        n_public=60,
+        rounds=2,
+        mnist_rounds=2,
+        local_epochs=1,
+        batch_size=16,
+        lr=0.02,
+        alpha=0.5,
+        clients={"30": 4, "50": 5, "100": 6},
+        targets={"30": 0.15, "50": 0.15, "100": 0.15},
+    )

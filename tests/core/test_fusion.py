@@ -1,0 +1,103 @@
+"""Server fusion modes (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distill import DistillConfig
+from repro.core.fusion import FUSION_MODES, fuse_ensemble_distill, fuse_weight_average
+from repro.data.synthetic import make_blobs
+from repro.fl.trainer import LocalTrainer
+from repro.nn.models import MLP
+from repro.nn.serialization import average_states
+
+
+def members(n=3):
+    states = []
+    for s in range(n):
+        m = MLP(8, 4, hidden=(8,), seed=s)
+        tr = make_blobs(100, num_classes=4, dim=8, seed=s)
+        LocalTrainer(tr, batch_size=20, lr=0.05, seed=s).train(m, epochs=2)
+        states.append(m.state_dict())
+    return states
+
+
+class TestWeightAverage:
+    def test_matches_average_states(self):
+        states = members()
+        target = MLP(8, 4, hidden=(8,), seed=99)
+        fuse_weight_average(target, states, weights=[1.0, 2.0, 3.0])
+        ref = average_states(states, [1.0, 2.0, 3.0])
+        for k, v in target.state_dict().items():
+            np.testing.assert_allclose(v, ref[k], atol=1e-6)
+
+    def test_uniform_default(self):
+        states = members(2)
+        target = MLP(8, 4, hidden=(8,), seed=99)
+        fuse_weight_average(target, states)
+        ref = average_states(states)
+        for k, v in target.state_dict().items():
+            np.testing.assert_allclose(v, ref[k], atol=1e-6)
+
+
+class TestEnsembleDistill:
+    def test_runs_and_returns_loss(self):
+        states = members()
+        public = make_blobs(120, num_classes=4, dim=8, seed=7)
+        target = MLP(8, 4, hidden=(8,), seed=99)
+        scratch = MLP(8, 4, hidden=(8,), seed=98)
+        loss = fuse_ensemble_distill(
+            target, scratch, states, [1.0] * 3, public, "max",
+            DistillConfig(epochs=2, lr=1e-3, seed=0),
+        )
+        assert np.isfinite(loss) and loss >= 0
+
+    def test_init_from_average_starts_at_average(self):
+        states = members()
+        public = make_blobs(60, num_classes=4, dim=8, seed=7)
+        target = MLP(8, 4, hidden=(8,), seed=99)
+        scratch = MLP(8, 4, hidden=(8,), seed=98)
+        # zero distillation epochs isn't allowed; use tiny lr so the state
+        # stays within float tolerance of the average init
+        fuse_ensemble_distill(
+            target, scratch, states, None, public, "mean",
+            DistillConfig(epochs=1, lr=1e-12, seed=0),
+        )
+        ref = average_states(states)
+        for k, v in target.state_dict().items():
+            np.testing.assert_allclose(v, ref[k], atol=1e-4)
+
+    def test_no_average_init_keeps_previous_weights_near(self):
+        states = members()
+        public = make_blobs(60, num_classes=4, dim=8, seed=7)
+        target = MLP(8, 4, hidden=(8,), seed=99)
+        before = {k: v.copy() for k, v in target.state_dict().items()}
+        scratch = MLP(8, 4, hidden=(8,), seed=98)
+        fuse_ensemble_distill(
+            target, scratch, states, None, public, "mean",
+            DistillConfig(epochs=1, lr=1e-12, seed=0),
+            init_from_average=False,
+        )
+        for k, v in target.state_dict().items():
+            np.testing.assert_allclose(v, before[k], atol=1e-4)
+
+    def test_all_strategies_accepted(self):
+        states = members(2)
+        public = make_blobs(40, num_classes=4, dim=8, seed=7)
+        for strat in ("max", "mean", "vote"):
+            target = MLP(8, 4, hidden=(8,), seed=99)
+            scratch = MLP(8, 4, hidden=(8,), seed=98)
+            loss = fuse_ensemble_distill(
+                target, scratch, states, None, public, strat,
+                DistillConfig(epochs=1, lr=1e-3, seed=0),
+            )
+            assert np.isfinite(loss)
+
+    def test_empty_states_rejected(self):
+        public = make_blobs(10, num_classes=4, dim=8, seed=0)
+        with pytest.raises(ValueError):
+            fuse_ensemble_distill(
+                MLP(8, 4, seed=0), MLP(8, 4, seed=1), [], None, public, "max", DistillConfig()
+            )
+
+    def test_modes_constant(self):
+        assert set(FUSION_MODES) == {"weight-average", "ensemble-distill"}

@@ -1,0 +1,98 @@
+"""The privacy contract: what FedKEMF's server may and may not touch.
+
+The paper's premise is that raw client data and the large local models stay
+on-device. These tests instrument the data views to prove the server-side
+fusion path never reads client shards, and that only knowledge-network
+payloads transit the channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FedKEMF
+from repro.data.federated import build_federated_dataset
+from repro.fl import FLConfig
+from repro.nn.models import MLP
+from repro.nn.serialization import state_dict_num_bytes
+
+
+@pytest.fixture()
+def fed(tiny_world):
+    return build_federated_dataset(
+        tiny_world, num_clients=4, n_train=240, n_test=80, n_public=80, alpha=1.0, seed=0
+    )
+
+
+def knowledge_fn():
+    return MLP(3 * 8 * 8, num_classes=4, hidden=(8,), seed=1)
+
+
+def local_fn():
+    return MLP(3 * 8 * 8, num_classes=4, hidden=(32,), seed=2)
+
+
+CFG = FLConfig(rounds=1, sample_ratio=1.0, local_epochs=1, batch_size=20, lr=0.05, seed=0)
+
+
+class TestServerNeverTouchesClientData:
+    def test_fusion_reads_only_public_data(self, fed, monkeypatch):
+        """During the server-fusion phase no client shard may be read."""
+        algo = FedKEMF(knowledge_fn, fed, CFG, local_model_fns=local_fn)
+        in_fusion = {"active": False}
+
+        from repro.core import fusion as fusion_mod
+
+        orig_fuse = fusion_mod.fuse_ensemble_distill
+
+        def guarded_fuse(*args, **kwargs):
+            in_fusion["active"] = True
+            try:
+                return orig_fuse(*args, **kwargs)
+            finally:
+                in_fusion["active"] = False
+
+        import repro.core.fedkemf as fedkemf_mod
+
+        monkeypatch.setattr(fedkemf_mod, "fuse_ensemble_distill", guarded_fuse)
+
+        for shard in fed.client_train:
+            orig_arrays = shard.arrays
+
+            def spy(orig=orig_arrays):
+                assert not in_fusion["active"], "server fusion read a client shard!"
+                return orig()
+
+            monkeypatch.setattr(shard, "arrays", spy)
+
+        algo.run()
+
+    def test_channel_payloads_are_knowledge_sized(self, fed):
+        """Every transferred payload must be exactly one knowledge network —
+        never a local model, never raw data."""
+        algo = FedKEMF(knowledge_fn, fed, CFG, local_model_fns=local_fn)
+        know_bytes = state_dict_num_bytes(knowledge_fn().state_dict())
+        sizes = []
+
+        orig_download, orig_upload = algo.channel.download, algo.channel.upload
+
+        def spy_down(cid, state, **kw):
+            sizes.append(state_dict_num_bytes(state))
+            return orig_download(cid, state, **kw)
+
+        def spy_up(cid, state, **kw):
+            sizes.append(state_dict_num_bytes(state))
+            return orig_upload(cid, state, **kw)
+
+        algo.channel.download = spy_down
+        algo.channel.upload = spy_up
+        algo.run()
+        assert sizes, "no transfers recorded"
+        assert all(s == know_bytes for s in sizes)
+
+    def test_local_models_never_serialized(self, fed):
+        """Total traffic must be far below one local-model transfer."""
+        algo = FedKEMF(knowledge_fn, fed, CFG, local_model_fns=local_fn)
+        algo.run()
+        local_bytes = local_fn().num_bytes()
+        per_transfer = algo.meter.total / (2 * fed.num_clients)  # 2 per client
+        assert per_transfer < local_bytes / 2

@@ -1,0 +1,149 @@
+"""Real-corpus file loaders, exercised with fabricated files on disk."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.files import (
+    load_cifar10_batch,
+    load_cifar10_dir,
+    load_mnist_dir,
+    read_idx,
+    resolve_dataset,
+    write_idx,
+)
+
+
+def fabricate_mnist(root, split="train", n=12, gz=False):
+    rng = np.random.default_rng(0)
+    images = rng.integers(0, 256, size=(n, 28, 28), dtype=np.uint8)
+    labels = rng.integers(0, 10, size=(n,), dtype=np.uint8)
+    ip = root / f"{split}-images-idx3-ubyte"
+    lp = root / f"{split}-labels-idx1-ubyte"
+    write_idx(ip, images)
+    write_idx(lp, labels)
+    if gz:
+        for p in (ip, lp):
+            p.with_suffix(p.suffix + ".gz").write_bytes(gzip.compress(p.read_bytes()))
+            p.unlink()
+    return images, labels
+
+
+def fabricate_cifar_batch(path, n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 10, size=(n, 1), dtype=np.uint8)
+    pixels = rng.integers(0, 256, size=(n, 3072), dtype=np.uint8)
+    np.concatenate([labels, pixels], axis=1).tofile(str(path))
+    return labels[:, 0], pixels
+
+
+class TestIdx:
+    def test_round_trip(self, tmp_path):
+        arr = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        write_idx(tmp_path / "a.idx", arr)
+        np.testing.assert_array_equal(read_idx(tmp_path / "a.idx"), arr)
+
+    def test_gzipped(self, tmp_path):
+        arr = np.arange(10, dtype=np.uint8)
+        write_idx(tmp_path / "a.idx", arr)
+        gz = tmp_path / "a.idx.gz"
+        gz.write_bytes(gzip.compress((tmp_path / "a.idx").read_bytes()))
+        np.testing.assert_array_equal(read_idx(gz), arr)
+
+    def test_bad_magic(self, tmp_path):
+        (tmp_path / "bad.idx").write_bytes(b"\x01\x02\x03\x04rest")
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(tmp_path / "bad.idx")
+
+    def test_truncated_payload(self, tmp_path):
+        buf = bytes([0, 0, 0x08, 1]) + struct.pack(">I", 100) + b"\x00" * 5
+        (tmp_path / "t.idx").write_bytes(buf)
+        with pytest.raises(ValueError, match="payload"):
+            read_idx(tmp_path / "t.idx")
+
+    def test_write_rejects_floats(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_idx(tmp_path / "f.idx", np.zeros(3, dtype=np.float32))
+
+
+class TestMnistDir:
+    def test_load(self, tmp_path):
+        images, labels = fabricate_mnist(tmp_path)
+        ds = load_mnist_dir(tmp_path)
+        assert ds.x.shape == (12, 1, 28, 28)
+        assert ds.x.dtype == np.float32
+        assert 0.0 <= ds.x.min() and ds.x.max() <= 1.0
+        np.testing.assert_array_equal(ds.y, labels.astype(np.int64))
+        np.testing.assert_allclose(ds.x[0, 0], images[0] / 255.0, atol=1e-6)
+
+    def test_load_gz(self, tmp_path):
+        fabricate_mnist(tmp_path, gz=True)
+        ds = load_mnist_dir(tmp_path)
+        assert len(ds) == 12
+
+    def test_t10k_split(self, tmp_path):
+        fabricate_mnist(tmp_path, split="t10k", n=5)
+        assert len(load_mnist_dir(tmp_path, "t10k")) == 5
+
+    def test_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mnist_dir(tmp_path)
+
+    def test_bad_split(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_mnist_dir(tmp_path, "validation")
+
+
+class TestCifarDir:
+    def test_single_batch(self, tmp_path):
+        labels, pixels = fabricate_cifar_batch(tmp_path / "data_batch_1.bin")
+        x, y = load_cifar10_batch(tmp_path / "data_batch_1.bin")
+        assert x.shape == (10, 3, 32, 32)
+        np.testing.assert_array_equal(y, labels.astype(np.int64))
+        np.testing.assert_allclose(
+            x[0].reshape(-1), pixels[0].astype(np.float32) / 255.0, atol=1e-6
+        )
+
+    def test_train_dir_concatenates(self, tmp_path):
+        fabricate_cifar_batch(tmp_path / "data_batch_1.bin", n=10, seed=1)
+        fabricate_cifar_batch(tmp_path / "data_batch_2.bin", n=10, seed=2)
+        ds = load_cifar10_dir(tmp_path, "train")
+        assert len(ds) == 20
+
+    def test_test_split(self, tmp_path):
+        fabricate_cifar_batch(tmp_path / "test_batch.bin", n=7)
+        assert len(load_cifar10_dir(tmp_path, "test")) == 7
+
+    def test_missing_and_bad(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_cifar10_dir(tmp_path, "train")
+        (tmp_path / "data_batch_1.bin").write_bytes(b"\x00" * 100)  # wrong size
+        with pytest.raises(ValueError):
+            load_cifar10_dir(tmp_path, "train")
+
+
+class TestResolve:
+    def test_synthetic_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CIFAR_DIR", raising=False)
+        ds, source = resolve_dataset("cifar10", "train", n_synthetic=100)
+        assert source == "synthetic" and len(ds) == 100
+
+    def test_files_preferred(self, tmp_path, monkeypatch):
+        fabricate_cifar_batch(tmp_path / "data_batch_1.bin", n=10)
+        monkeypatch.setenv("REPRO_CIFAR_DIR", str(tmp_path))
+        ds, source = resolve_dataset("cifar10", "train")
+        assert source == "files" and len(ds) == 10
+
+    def test_mnist_files(self, tmp_path, monkeypatch):
+        fabricate_mnist(tmp_path, "train")
+        fabricate_mnist(tmp_path, "t10k", n=4)
+        monkeypatch.setenv("REPRO_MNIST_DIR", str(tmp_path))
+        tr, src = resolve_dataset("mnist", "train")
+        te, _ = resolve_dataset("mnist", "test")
+        assert src == "files" and len(tr) == 12 and len(te) == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            resolve_dataset("imagenet")

@@ -1,0 +1,141 @@
+"""Partitioner invariants (unit + property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import (
+    PARTITIONER_REGISTRY,
+    DirichletPartitioner,
+    IIDPartitioner,
+    QuantitySkewPartitioner,
+    ShardPartitioner,
+    partition_report,
+)
+
+
+def labeled_dataset(n=200, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(np.zeros((n, 2), dtype=np.float32), rng.integers(0, num_classes, n))
+
+
+ALL_PARTITIONERS = [
+    lambda c, s: IIDPartitioner(c, seed=s),
+    lambda c, s: DirichletPartitioner(c, alpha=0.5, seed=s),
+    lambda c, s: ShardPartitioner(c, shards_per_client=2, seed=s),
+    lambda c, s: QuantitySkewPartitioner(c, alpha=0.5, seed=s),
+]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("factory", ALL_PARTITIONERS)
+    def test_disjoint_cover(self, factory):
+        ds = labeled_dataset()
+        parts = factory(7, 0)(ds)
+        allidx = np.concatenate([p.indices for p in parts])
+        assert len(allidx) == len(ds)
+        assert len(np.unique(allidx)) == len(ds)
+
+    @pytest.mark.parametrize("factory", ALL_PARTITIONERS)
+    def test_deterministic(self, factory):
+        ds = labeled_dataset()
+        a = factory(5, 3)(ds)
+        b = factory(5, 3)(ds)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.indices, pb.indices)
+
+    @pytest.mark.parametrize("factory", ALL_PARTITIONERS)
+    def test_seed_changes_partition(self, factory):
+        ds = labeled_dataset()
+        a = factory(5, 1)(ds)
+        b = factory(5, 2)(ds)
+        assert any(
+            len(pa) != len(pb) or not np.array_equal(pa.indices, pb.indices)
+            for pa, pb in zip(a, b)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        clients=st.integers(2, 10),
+        n=st.integers(50, 300),
+        alpha=st.floats(0.05, 5.0),
+        seed=st.integers(0, 100),
+    )
+    def test_property_dirichlet_cover(self, clients, n, alpha, seed):
+        ds = labeled_dataset(n=n, seed=seed)
+        parts = DirichletPartitioner(clients, alpha=alpha, min_size=1, seed=seed)(ds)
+        allidx = np.concatenate([p.indices for p in parts])
+        assert sorted(allidx.tolist()) == list(range(n))
+
+
+class TestDirichlet:
+    def test_alpha_controls_skew(self):
+        """Small α must produce more label-skewed shards than large α."""
+        ds = labeled_dataset(n=2000, num_classes=10, seed=1)
+        skew_low = partition_report(DirichletPartitioner(10, alpha=0.05, seed=0)(ds), 10)
+        skew_high = partition_report(DirichletPartitioner(10, alpha=100.0, seed=0)(ds), 10)
+        assert skew_low["mean_tv_from_uniform"] > skew_high["mean_tv_from_uniform"] + 0.1
+
+    def test_min_size_respected(self):
+        ds = labeled_dataset(n=500, seed=2)
+        parts = DirichletPartitioner(5, alpha=0.1, min_size=5, seed=0)(ds)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(3, alpha=0.0)
+
+
+class TestShard:
+    def test_clients_get_few_classes(self):
+        ds = labeled_dataset(n=1000, num_classes=10, seed=3)
+        parts = ShardPartitioner(10, shards_per_client=2, seed=0)(ds)
+        # two contiguous label shards → at most ~3-4 distinct labels each
+        for p in parts:
+            assert len(np.unique(p.labels)) <= 4
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardPartitioner(3, shards_per_client=0)
+
+
+class TestQuantitySkew:
+    def test_sizes_vary(self):
+        ds = labeled_dataset(n=500, seed=4)
+        parts = QuantitySkewPartitioner(8, alpha=0.3, seed=0)(ds)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) > 2 * min(sizes)
+        assert min(sizes) >= 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            QuantitySkewPartitioner(3, alpha=-1.0)
+
+
+class TestRegistryAndReport:
+    def test_registry(self):
+        for name in ("iid", "dirichlet", "shard", "quantity-skew"):
+            assert name in PARTITIONER_REGISTRY
+
+    def test_report_fields(self):
+        ds = labeled_dataset(n=100, num_classes=5, seed=5)
+        rep = partition_report(IIDPartitioner(4, seed=0)(ds), 5)
+        assert rep["sizes"].sum() == 100
+        assert rep["class_histograms"].shape == (4, 5)
+        assert 0.0 <= rep["mean_tv_from_uniform"] <= 1.0
+        assert rep["max_tv_from_uniform"] >= rep["mean_tv_from_uniform"]
+
+    def test_validation_catches_bad_partitioner(self):
+        class Broken(IIDPartitioner):
+            def partition_indices(self, labels):
+                parts = super().partition_indices(labels)
+                parts[0] = parts[0][:-1]  # drop one index
+                return parts
+
+        with pytest.raises(RuntimeError):
+            Broken(3, seed=0)(labeled_dataset())
+
+    def test_invalid_num_clients(self):
+        with pytest.raises(ValueError):
+            IIDPartitioner(0)

@@ -1,0 +1,122 @@
+"""Synthetic data generators: shapes, determinism, class structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticImageDataset,
+    SyntheticSpec,
+    make_blobs,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticSpec(image_size=2, low_freq=4)
+
+
+class TestWorld:
+    def test_prototype_shapes(self, tiny_world):
+        s = tiny_world.spec
+        assert tiny_world.prototypes.shape == (
+            s.num_classes,
+            s.prototypes_per_class,
+            s.channels,
+            s.image_size,
+            s.image_size,
+        )
+
+    def test_prototypes_normalized(self, tiny_world):
+        flat = tiny_world.prototypes.reshape(4, 3, -1)
+        np.testing.assert_allclose(flat.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(flat.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_same_seed_same_world(self):
+        spec = SyntheticSpec(num_classes=3, channels=1, image_size=8)
+        a = SyntheticImageDataset(spec, seed=9)
+        b = SyntheticImageDataset(spec, seed=9)
+        np.testing.assert_array_equal(a.prototypes, b.prototypes)
+
+    def test_different_seed_different_world(self):
+        spec = SyntheticSpec(num_classes=3, channels=1, image_size=8)
+        a = SyntheticImageDataset(spec, seed=1)
+        b = SyntheticImageDataset(spec, seed=2)
+        assert not np.allclose(a.prototypes, b.prototypes)
+
+
+class TestSampling:
+    def test_shapes_and_dtype(self, tiny_world):
+        ds = tiny_world.sample(32, seed=0)
+        assert ds.x.shape == (32, 3, 8, 8) and ds.x.dtype == np.float32
+        assert ds.y.shape == (32,)
+
+    def test_deterministic_draws(self, tiny_world):
+        a = tiny_world.sample(16, seed=5)
+        b = tiny_world.sample(16, seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_distinct_seeds_distinct_draws(self, tiny_world):
+        a = tiny_world.sample(16, seed=1)
+        b = tiny_world.sample(16, seed=2)
+        assert not np.allclose(a.x, b.x)
+
+    def test_explicit_labels(self, tiny_world):
+        labels = np.array([0, 0, 1, 3])
+        ds = tiny_world.sample(4, seed=0, labels=labels)
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_label_validation(self, tiny_world):
+        with pytest.raises(ValueError):
+            tiny_world.sample(3, labels=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            tiny_world.sample(2, labels=np.array([0, 9]))
+
+    def test_class_probs(self, tiny_world):
+        ds = tiny_world.sample(400, seed=0, class_probs=[1.0, 0.0, 0.0, 0.0])
+        assert (ds.y == 0).all()
+
+    def test_class_signal_present(self, tiny_world):
+        """Same-class samples must correlate more than cross-class ones —
+        otherwise nothing downstream could learn."""
+        ds = tiny_world.sample(200, seed=0)
+        x = ds.x.reshape(len(ds), -1)
+        x = (x - x.mean(axis=1, keepdims=True)) / (x.std(axis=1, keepdims=True) + 1e-8)
+        sims = x @ x.T / x.shape[1]
+        same = ds.y[:, None] == ds.y[None, :]
+        off_diag = ~np.eye(len(ds), dtype=bool)
+        assert sims[same & off_diag].mean() > sims[~same].mean() + 0.05
+
+
+class TestFactories:
+    def test_cifar_like(self):
+        tr, te, world = make_synthetic_cifar10(64, 32, image_size=16, seed=0)
+        assert tr.x.shape == (64, 3, 16, 16) and te.x.shape == (32, 3, 16, 16)
+        assert world.spec.num_classes == 10
+
+    def test_mnist_like(self):
+        tr, te, world = make_synthetic_mnist(64, 32, image_size=14, seed=0)
+        assert tr.x.shape == (64, 1, 14, 14)
+
+    def test_train_test_from_same_world(self):
+        tr, te, world = make_synthetic_cifar10(32, 32, image_size=8, seed=0)
+        assert not np.allclose(tr.x[:32], te.x)  # different draws
+
+    def test_blobs(self):
+        ds = make_blobs(50, num_classes=3, dim=5, seed=0)
+        assert ds.x.shape == (50, 5)
+        assert set(np.unique(ds.y)) <= {0, 1, 2}
+
+    def test_blobs_separable(self):
+        """High-separation blobs are nearly linearly separable — a nearest-
+        centroid rule must score well."""
+        tr = make_blobs(300, num_classes=4, dim=8, separation=4.0, seed=0)
+        te = make_blobs(100, num_classes=4, dim=8, separation=4.0, seed=0)
+        cents = np.stack([tr.x[tr.y == k].mean(axis=0) for k in range(4)])
+        pred = np.argmin(((te.x[:, None] - cents[None]) ** 2).sum(-1), axis=1)
+        assert (pred == te.y).mean() > 0.9

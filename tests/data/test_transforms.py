@@ -1,0 +1,78 @@
+"""Batch transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+
+
+def batch(seed=0, n=8):
+    return np.random.default_rng(seed).standard_normal((n, 3, 6, 6)).astype(np.float32)
+
+
+class TestNormalize:
+    def test_standardizes(self):
+        x = batch()
+        mean = x.mean(axis=(0, 2, 3))
+        std = x.std(axis=(0, 2, 3))
+        out = Normalize(mean, std)(x, np.random.default_rng(0))
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-4)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+
+class TestFlip:
+    def test_p1_flips_all(self):
+        x = batch()
+        out = RandomHorizontalFlip(p=1.0)(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, x[:, :, :, ::-1])
+
+    def test_p0_identity(self):
+        x = batch()
+        out = RandomHorizontalFlip(p=0.0)(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, x)
+
+    def test_input_not_mutated(self):
+        x = batch()
+        ref = x.copy()
+        RandomHorizontalFlip(p=1.0)(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(x, ref)
+
+
+class TestShift:
+    def test_preserves_content_multiset(self):
+        x = batch()
+        out = RandomShift(2)(x, np.random.default_rng(0))
+        # circular shift is a permutation of each channel's pixels
+        np.testing.assert_allclose(
+            np.sort(out.reshape(8, 3, -1), axis=-1),
+            np.sort(x.reshape(8, 3, -1), axis=-1),
+            atol=1e-6,
+        )
+
+    def test_zero_shift_identity(self):
+        x = batch()
+        out = RandomShift(0)(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, x)
+
+
+class TestNoiseAndCompose:
+    def test_noise_magnitude(self):
+        x = np.zeros((4, 3, 6, 6), dtype=np.float32)
+        out = GaussianNoise(0.5)(x, np.random.default_rng(0))
+        assert 0.3 < out.std() < 0.7
+
+    def test_compose_order(self):
+        x = batch()
+        pipeline = Compose([RandomHorizontalFlip(1.0), Normalize([0.0] * 3, [2.0] * 3)])
+        out = pipeline(x, np.random.default_rng(0))
+        np.testing.assert_allclose(out, x[:, :, :, ::-1] / 2.0, atol=1e-6)

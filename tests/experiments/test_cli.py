@@ -1,0 +1,41 @@
+"""CLI surface tests (parsing + the cheap paths)."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        p = build_parser()
+        for name in EXPERIMENTS + ("all", "list"):
+            args = p.parse_args([name])
+            assert args.experiment == name
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_settings_validated(self):
+        args = build_parser().parse_args(["table1", "--settings", "30", "100"])
+        assert args.settings == ["30", "100"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--settings", "99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.methods == ["fedavg", "fednova", "fedprox", "fedkemf"]
+        assert args.seed == 0
+        assert args.out is None
+
+
+class TestListCommand:
+    def test_list_prints_index(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            main(["table1", "--scale", "galactic"])

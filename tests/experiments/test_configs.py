@@ -1,0 +1,64 @@
+"""Scale profiles and client settings."""
+
+import os
+
+import pytest
+
+from repro.experiments.configs import CLIENT_SETTINGS, SCALES, get_scale, scaled_clients, scaled_target
+
+
+class TestScales:
+    def test_all_scales_have_all_settings(self):
+        for scale in SCALES.values():
+            for key in CLIENT_SETTINGS:
+                assert key in scale.clients
+                assert key in scale.targets
+
+    def test_paper_scale_matches_paper(self):
+        p = SCALES["paper"]
+        assert p.clients == {"30": 30, "50": 50, "100": 100}
+        assert p.targets == {"30": 0.65, "50": 0.57, "100": 0.60}
+        assert p.image_size == 32 and p.alpha == 0.1
+
+    def test_client_settings_table(self):
+        assert CLIENT_SETTINGS["30"].sample_ratio == 0.4
+        assert CLIENT_SETTINGS["50"].sample_ratio == 0.7
+        assert CLIENT_SETTINGS["100"].sample_ratio == 0.5
+        assert CLIENT_SETTINGS["30"].paper_target == 0.65
+
+    def test_width_for_families(self):
+        s = SCALES["smoke"]
+        assert s.width_for("resnet-20") == s.width_for("resnet-44")
+        assert s.width_for("vgg-11") < 1.0
+        assert s.width_for("unknown-model") == 1.0
+
+    def test_scales_monotone_in_size(self):
+        assert (
+            SCALES["smoke"].image_size
+            < SCALES["small"].image_size
+            < SCALES["paper"].image_size
+        )
+        assert SCALES["smoke"].n_train < SCALES["small"].n_train < SCALES["paper"].n_train
+
+
+class TestGetScale:
+    def test_default_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "smoke"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_scale().name == "small"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_scale("paper").name == "paper"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_helpers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled_clients("30") == SCALES["smoke"].clients["30"]
+        assert scaled_target("100") == SCALES["smoke"].targets["100"]

@@ -1,0 +1,81 @@
+"""Internal consistency of the transcribed paper numbers."""
+
+import numpy as np
+
+from repro.experiments import paper
+
+
+class TestTable1:
+    def test_fedavg_rows_are_reference(self):
+        for row in paper.TABLE1:
+            if row.method == "FedAvg":
+                assert row.speedup == 1.0
+
+    def test_fedkemf_round_cost_constant(self):
+        """FedKEMF always ships the knowledge network: 2.1 MB per round."""
+        for row in paper.TABLE1:
+            if row.method == "FedKEMF":
+                assert row.round_cost_mb == 2.1
+
+    def test_fednova_round_cost_double_fedavg(self):
+        avg = {(r.model, r.clients): r.round_cost_mb for r in paper.TABLE1 if r.method == "FedAvg"}
+        for row in paper.TABLE1:
+            if row.method == "FedNova":
+                assert row.round_cost_mb == 2 * avg[(row.model, row.clients)]
+
+    def test_totals_consistent_with_formula(self):
+        """total ≈ rounds × round_cost × sampled_clients (ratio from Table 2)."""
+        ratios = {30: 0.4, 50: 0.7, 100: 0.5}
+        for row in paper.TABLE1:
+            sampled = row.clients * ratios[row.clients]
+            expected_gb = row.rounds * row.round_cost_mb * sampled / 1e3
+            # the paper's table has some rounding slack
+            assert abs(expected_gb - row.total_gb) / row.total_gb < 0.30, row
+
+    def test_fedkemf_speedup_grows_with_model_size(self):
+        """The headline shape: bigger local model ⇒ bigger FedKEMF speed-up."""
+        at30 = {
+            r.model: r.speedup
+            for r in paper.TABLE1
+            if r.method == "FedKEMF" and r.clients == 30
+        }
+        assert at30["resnet-20"] < at30["resnet-32"] < at30["vgg-11"]
+
+    def test_failed_rows_at_budget(self):
+        for row in paper.TABLE1:
+            if row.failed:
+                assert row.rounds == 400
+
+
+class TestTable2:
+    def test_fedkemf_has_positive_delta_everywhere(self):
+        for row in paper.TABLE2:
+            if row.method == "FedKEMF":
+                assert row.delta_acc > 0
+
+    def test_fedkemf_round_cost_constant(self):
+        for row in paper.TABLE2:
+            if row.method == "FedKEMF":
+                assert row.round_cost_mb == 2.1
+
+    def test_delta_acc_consistent(self):
+        ref = {
+            (r.clients, r.model): r.converge_acc for r in paper.TABLE2 if r.method == "FedAvg"
+        }
+        for row in paper.TABLE2:
+            expected = row.converge_acc - ref[(row.clients, row.model)]
+            assert abs(expected - row.delta_acc) < 0.002, row
+
+
+class TestTable3:
+    def test_fedkemf_wins(self):
+        baselines = {k: v for k, v in paper.TABLE3.items() if k != "FedKEMF"}
+        assert paper.TABLE3["FedKEMF"] > max(baselines.values()) + 0.2
+
+    def test_values_are_fractions(self):
+        assert all(0 < v < 1 for v in paper.TABLE3.values())
+
+
+class TestShapes:
+    def test_expected_shapes_documented(self):
+        assert len(paper.EXPECTED_SHAPES) >= 5

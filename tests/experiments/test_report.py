@@ -1,0 +1,46 @@
+"""Report assembly."""
+
+import pathlib
+
+from repro.experiments.report import SECTION_ORDER, build_report, collect_sections
+
+
+class TestCollect:
+    def test_empty_dir(self, tmp_path):
+        assert collect_sections(tmp_path) == []
+        text = build_report(tmp_path)
+        assert "No artifacts" in text
+
+    def test_orders_known_sections(self, tmp_path):
+        (tmp_path / "figure4.txt").write_text("fig4 body")
+        (tmp_path / "table1.txt").write_text("t1 body")
+        sections = collect_sections(tmp_path)
+        assert [s.stem for s in sections] == ["table1", "figure4"]
+
+    def test_ignores_unknown_files(self, tmp_path):
+        (tmp_path / "random_notes.txt").write_text("x")
+        assert collect_sections(tmp_path) == []
+
+
+class TestBuild:
+    def test_bodies_embedded_in_code_fences(self, tmp_path):
+        (tmp_path / "table3.txt").write_text("FedKEMF wins")
+        text = build_report(tmp_path, scale_name="small")
+        assert "FedKEMF wins" in text
+        assert "```text" in text
+        assert "`small`" in text
+
+    def test_missing_sections_listed(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("t1")
+        text = build_report(tmp_path)
+        assert "Missing artifacts" in text
+        assert "figure7" in text
+
+    def test_full_set_has_no_missing_note(self, tmp_path):
+        for stem, _ in SECTION_ORDER:
+            (tmp_path / f"{stem}.txt").write_text(stem)
+        text = build_report(tmp_path)
+        assert "Missing artifacts" not in text
+        # every section title appears
+        for _, title in SECTION_ORDER:
+            assert title in text

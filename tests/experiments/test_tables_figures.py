@@ -1,0 +1,105 @@
+"""Table/figure computation at micro scale — structure, not absolute values."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(micro_scale):
+    return ExperimentRunner(micro_scale)
+
+
+METHODS = ("fedavg", "fedkemf")
+
+
+class TestTable1:
+    def test_structure(self, runner):
+        entries = tables.compute_table1(runner, methods=METHODS, settings=("30",))
+        assert len(entries) == len(METHODS) * len(tables.TABLE_GRID["30"])
+        for e in entries:
+            assert e.total_gb >= 0 and e.rounds >= 1
+            assert np.isfinite(e.speedup)
+
+    def test_fedavg_is_reference(self, runner):
+        entries = tables.compute_table1(runner, methods=METHODS, settings=("30",))
+        for e in entries:
+            if e.method == "FedAvg":
+                assert e.speedup == 1.0 and e.delta_gb == 0.0
+
+    def test_fedkemf_round_cost_constant_across_models(self, runner):
+        entries = tables.compute_table1(runner, methods=METHODS, settings=("30",))
+        kemf_costs = {e.model: e.round_cost_mb for e in entries if e.method == "FedKEMF"}
+        costs = list(kemf_costs.values())
+        assert max(costs) - min(costs) < 1e-6
+
+    def test_render_includes_paper_column(self, runner):
+        entries = tables.compute_table1(runner, methods=METHODS, settings=("30",))
+        text = tables.render_table1(entries)
+        assert "Table 1" in text and "paper×" in text
+        assert "FedKEMF" in text
+
+
+class TestTable2:
+    def test_structure_and_reference(self, runner):
+        entries = tables.compute_table2(runner, methods=METHODS, settings=("30",))
+        for e in entries:
+            assert 1 <= e.converge_rounds <= runner.scale.rounds
+            if e.method == "FedAvg":
+                assert e.delta_acc == 0.0
+        text = tables.render_table2(entries)
+        assert "Table 2" in text
+
+
+class TestTable3:
+    def test_structure(self, runner):
+        entries = tables.compute_table3(runner, methods=("fedavg", "fedkemf"), setting="30")
+        by = {e.method: e for e in entries}
+        assert by["FedAvg"].model_desc == "resnet-20"
+        assert by["FedKEMF"].model_desc.startswith("multi(")
+        assert all(0 <= e.average_acc <= 1 for e in entries)
+        assert "Table 3" in tables.render_table3(entries)
+
+
+class TestFigures:
+    def test_figure4_series(self, runner):
+        out = figures.figure4(
+            runner, methods=METHODS, panels=(("cifar10", "mlp", "30"),)
+        )
+        (title, series), = out.items()
+        assert "mlp" in title
+        for accs in series.values():
+            assert len(accs) == runner.scale.rounds
+        text = figures.render_series_panel(title, series)
+        assert "final=" in text
+
+    def test_figure5_bars(self, runner):
+        out = figures.figure5(runner, methods=METHODS, panels=(("cifar10", "mlp", "30"),))
+        (title, bars), = out.items()
+        assert set(bars) == {"FedAvg", "FedKEMF"}
+        assert "█" in figures.render_bars(title, bars)
+
+    def test_figure6_handles_unreached_targets(self, runner):
+        out = figures.figure6(runner, methods=METHODS, panels=(("cifar10", "mlp", "30"),))
+        (title, bars), = out.items()
+        for v in bars.values():
+            assert v is None or v >= 1
+        rendered = figures.render_bars(title, {"a": None, "b": 3})
+        assert "not reached" in rendered
+
+    def test_figure7_stability_entries(self, runner):
+        entries = figures.figure7(
+            runner, model="mlp", settings=("30",), ratios=(0.5, 1.0), alphas=(1.0,)
+        )
+        assert len(entries) == 3
+        for e in entries:
+            assert e.tail_std >= 0
+            assert len(e.accuracies) == runner.scale.rounds
+
+    def test_sparkline(self):
+        s = figures.sparkline([0.0, 0.5, 1.0], 0.0, 1.0)
+        assert len(s) == 3
+        assert s[0] == " " and s[-1] == "█"
+        assert figures.sparkline([]) == ""

@@ -1,0 +1,161 @@
+"""Deeper behavioral tests of the FL algorithms (server-side math, config
+knobs, accounting identities)."""
+
+import numpy as np
+import pytest
+
+from repro.data.federated import build_federated_dataset
+from repro.fl import FedAvg, FedDF, FedNova, FLConfig, Scaffold
+from repro.nn.models import MLP
+from repro.nn.serialization import average_states
+
+
+@pytest.fixture(scope="module")
+def fed(tiny_world):
+    return build_federated_dataset(
+        tiny_world, num_clients=4, n_train=240, n_test=80, n_public=80, alpha=1.0, seed=0
+    )
+
+
+def mlp_fn():
+    return MLP(3 * 8 * 8, num_classes=4, hidden=(16,), seed=1)
+
+
+CFG = FLConfig(rounds=2, sample_ratio=0.5, local_epochs=1, batch_size=20, lr=0.05, seed=0)
+
+
+class TestAccountingIdentities:
+    def test_record_bytes_sum_to_meter_total(self, fed):
+        algo = FedAvg(mlp_fn, fed, CFG)
+        h = algo.run()
+        assert sum(r.round_bytes for r in h.records) == algo.meter.total
+        assert h.records[-1].cum_bytes == algo.meter.total
+
+    def test_uplink_downlink_split_symmetric_for_fedavg(self, fed):
+        algo = FedAvg(mlp_fn, fed, CFG)
+        algo.run()
+        assert algo.meter.total_up == algo.meter.total_down
+
+    def test_only_selected_clients_charged(self, fed):
+        algo = FedAvg(mlp_fn, fed, CFG.with_overrides(sample_ratio=0.5))
+        selected = set(algo.sampler.sample(0))
+        algo.run(rounds=1)
+        charged = set(algo.meter.uplink)
+        assert charged == selected
+
+    def test_wall_time_recorded(self, fed):
+        h = FedAvg(mlp_fn, fed, CFG).run(rounds=1)
+        assert h.records[0].wall_time > 0
+
+
+class TestFedAvgServerMath:
+    def test_full_participation_equal_shards_is_plain_average(self, tiny_world):
+        """With IID equal shards and ratio 1.0, the new global equals the
+        uniform average of uploaded states."""
+        from repro.data.partition import IIDPartitioner
+
+        fed = build_federated_dataset(
+            tiny_world, num_clients=4, n_train=240, n_test=80, n_public=80,
+            partitioner=IIDPartitioner(4, seed=0), seed=0, local_test_fraction=0.5,
+        )
+        # force perfectly equal shard sizes
+        sizes = {len(d) for d in fed.client_train}
+        cfg = CFG.with_overrides(sample_ratio=1.0, rounds=1)
+        algo = FedAvg(mlp_fn, fed, cfg)
+
+        uploads = []
+        orig_upload = algo.channel.upload
+
+        def spy(cid, state, **kw):
+            out = orig_upload(cid, state, **kw)
+            uploads.append(out)
+            return out
+
+        algo.channel.upload = spy
+        algo.run()
+        if len(sizes) == 1:  # equal shards → uniform average must match
+            expected = average_states(uploads)
+            got = algo.global_model.state_dict()
+            for k in expected:
+                np.testing.assert_allclose(got[k], expected[k], atol=1e-5)
+
+
+class TestServerLr:
+    def test_scaffold_server_lr_zero_freezes_model(self, fed):
+        cfg = CFG.with_overrides(server_lr=0.0, rounds=1)
+        algo = Scaffold(mlp_fn, fed, cfg)
+        before = {k: v.copy() for k, v in algo.global_model.state_dict().items()}
+        algo.run()
+        after = algo.global_model.state_dict()
+        for k in before:
+            if "weight" in k or "bias" in k:
+                np.testing.assert_allclose(after[k], before[k], atol=1e-6)
+
+    def test_fednova_server_lr_scales_update(self, fed):
+        def delta_for(lr):
+            cfg = CFG.with_overrides(server_lr=lr, rounds=1)
+            algo = FedNova(mlp_fn, fed, cfg)
+            before = {k: v.copy() for k, v in algo.global_model.state_dict().items()}
+            algo.run()
+            after = algo.global_model.state_dict()
+            key = next(k for k in before if k.endswith("weight"))
+            return after[key] - before[key]
+
+        d1 = delta_for(1.0)
+        d2 = delta_for(2.0)
+        np.testing.assert_allclose(d2, 2 * d1, atol=1e-4)
+
+
+class TestFedDFKnobs:
+    def test_explicit_vote_strategy_honored(self, fed):
+        """FedDF maps the default 'max' to 'mean' but must honor an explicit
+        non-default choice."""
+        import repro.core.fusion as fusion_mod
+
+        seen = {}
+        orig = fusion_mod.fuse_ensemble_distill
+
+        def spy(*args, **kwargs):
+            seen["strategy"] = kwargs.get("strategy", args[5] if len(args) > 5 else None)
+            return orig(*args, **kwargs)
+
+        algo = FedDF(mlp_fn, fed, CFG.with_overrides(ensemble="vote", rounds=1))
+        import repro.fl.algorithms.feddf as feddf_mod
+
+        feddf_mod.fuse_ensemble_distill, saved = spy, feddf_mod.fuse_ensemble_distill
+        try:
+            algo.run()
+        finally:
+            feddf_mod.fuse_ensemble_distill = saved
+        assert seen["strategy"] == "vote"
+
+    def test_default_max_becomes_mean(self, fed):
+        seen = {}
+        import repro.fl.algorithms.feddf as feddf_mod
+
+        orig = feddf_mod.fuse_ensemble_distill
+
+        def spy(*args, **kwargs):
+            seen["strategy"] = kwargs.get("strategy")
+            return orig(*args, **kwargs)
+
+        feddf_mod.fuse_ensemble_distill = spy
+        try:
+            FedDF(mlp_fn, fed, CFG.with_overrides(rounds=1)).run()
+        finally:
+            feddf_mod.fuse_ensemble_distill = orig
+        assert seen["strategy"] == "mean"
+
+
+class TestRunLoopContract:
+    def test_run_rounds_argument_overrides_config(self, fed):
+        h = FedAvg(mlp_fn, fed, CFG).run(rounds=1)
+        assert h.num_rounds == 1
+
+    def test_histories_independent_between_runs(self, fed):
+        algo = FedAvg(mlp_fn, fed, CFG)
+        h1 = algo.run(rounds=1)
+        algo2 = FedAvg(mlp_fn, fed, CFG)
+        h2 = algo2.run(rounds=1)
+        assert h1 is not h2
+        assert h1.num_rounds == h2.num_rounds == 1

@@ -1,0 +1,103 @@
+"""Persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.fl.checkpoint import (
+    CheckpointManager,
+    load_history,
+    load_model,
+    save_history,
+    save_model,
+)
+from repro.fl.history import RoundRecord, RunHistory
+from repro.nn.models import MLP
+
+
+def make_history(n=3):
+    h = RunHistory("FedKEMF", "MLP", 4, 0.5, meta={"scale": "smoke"})
+    for i in range(1, n + 1):
+        h.append(
+            RoundRecord(
+                round_idx=i, accuracy=0.1 * i, loss=2.0 / i, cum_bytes=100 * i,
+                round_bytes=100, num_selected=2, local_accuracy=0.2 * i, wall_time=0.5,
+            )
+        )
+    return h
+
+
+class TestHistoryRoundTrip:
+    def test_full_fidelity(self, tmp_path):
+        h = make_history()
+        save_history(h, tmp_path / "run.json")
+        back = load_history(tmp_path / "run.json")
+        assert back.algorithm == h.algorithm
+        assert back.meta == h.meta
+        np.testing.assert_allclose(back.accuracies, h.accuracies)
+        np.testing.assert_array_equal(back.cum_bytes, h.cum_bytes)
+        np.testing.assert_allclose(back.local_accuracies, h.local_accuracies)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        save_history(make_history(), tmp_path / "a" / "b" / "run.json")
+        assert (tmp_path / "a" / "b" / "run.json").exists()
+
+
+class TestModelRoundTrip:
+    def test_weights_identical(self, tmp_path):
+        m = MLP(8, 4, hidden=(16,), seed=0)
+        save_model(m, tmp_path / "w.bin")
+        m2 = MLP(8, 4, hidden=(16,), seed=99)
+        load_model(tmp_path / "w.bin", into=m2)
+        for (_, p1), (_, p2) in zip(m.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_raw_state_return(self, tmp_path):
+        m = MLP(8, 4, seed=0)
+        save_model(m.state_dict(), tmp_path / "w.bin")
+        state = load_model(tmp_path / "w.bin")
+        assert set(state) == set(m.state_dict())
+
+
+class TestManager:
+    def test_save_and_discover(self, tmp_path):
+        mgr = CheckpointManager(tmp_path / "ckpt")
+        m = MLP(8, 4, seed=0)
+        mgr.save("fedkemf-30", make_history(), model=m)
+        mgr.save("fedavg-30", make_history(2))
+        assert mgr.runs() == ["fedavg-30", "fedkemf-30"]
+
+    def test_load_back(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        m = MLP(8, 4, seed=0)
+        mgr.save("run", make_history(), model=m)
+        h = mgr.load_history("run")
+        assert h.num_rounds == 3
+        m2 = mgr.load_weights("run", into=MLP(8, 4, seed=5))
+        np.testing.assert_array_equal(
+            next(iter(m2.parameters())).data, next(iter(m.parameters())).data
+        )
+
+    def test_missing_entries(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(KeyError):
+            mgr.load_history("nope")
+        mgr.save("no-weights", make_history())
+        with pytest.raises(KeyError):
+            mgr.load_weights("no-weights")
+
+    def test_invalid_names(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError):
+            mgr.save("../evil", make_history())
+        with pytest.raises(ValueError):
+            mgr.save(".hidden", make_history())
+
+    def test_summary(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save("run-a", make_history())
+        text = mgr.summary()
+        assert "run-a" in text and "FedKEMF" in text
+
+    def test_manifest_survives_reopen(self, tmp_path):
+        CheckpointManager(tmp_path).save("r1", make_history())
+        assert CheckpointManager(tmp_path).runs() == ["r1"]

@@ -1,0 +1,153 @@
+"""Wire codecs: round-trip fidelity, size reduction, channel integration."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl.compression import (
+    CODEC_REGISTRY,
+    Float16Codec,
+    IdentityCodec,
+    QuantizedCodec,
+    make_codec,
+)
+from repro.fl.comm import Channel, CommMeter
+from repro.nn.serialization import dumps_state_dict, state_dict_num_bytes
+
+
+def sample_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return OrderedDict(
+        w=rng.standard_normal((16, 16)).astype(np.float32),
+        b=rng.standard_normal(16).astype(np.float32) * 10,
+        steps=np.array([7], dtype=np.int64),
+    )
+
+
+class TestIdentity:
+    def test_round_trip_exact(self):
+        s = sample_state()
+        c = IdentityCodec()
+        out = c.decompress(c.compress(s))
+        for k in s:
+            np.testing.assert_array_equal(out[k], s[k])
+
+
+class TestFloat16:
+    def test_halves_float_payload(self):
+        s = sample_state()
+        c = Float16Codec()
+        comp = c.compress(s)
+        assert comp["w"].dtype == np.float16
+        assert comp["steps"].dtype == np.int64  # non-float passthrough
+        assert state_dict_num_bytes(comp) < 0.6 * state_dict_num_bytes(s)
+
+    def test_reconstruction_close(self):
+        s = sample_state()
+        c = Float16Codec()
+        out = c.decompress(c.compress(s))
+        np.testing.assert_allclose(out["w"], s["w"], atol=1e-2)
+        assert out["w"].dtype == np.float32
+
+
+class TestQuantized:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_round_trip_error_bounded(self, bits):
+        s = sample_state()
+        c = QuantizedCodec(bits)
+        out = c.decompress(c.compress(s))
+        for k in ("w", "b"):
+            rng_ = float(s[k].max() - s[k].min())
+            max_err = np.abs(out[k] - s[k]).max()
+            assert max_err <= rng_ * c.max_error() * 1.01, f"{k} err {max_err}"
+        np.testing.assert_array_equal(out["steps"], s["steps"])
+
+    def test_q8_quarters_payload(self):
+        s = OrderedDict(w=np.random.default_rng(0).standard_normal((64, 64)).astype(np.float32))
+        comp = QuantizedCodec(8).compress(s)
+        assert state_dict_num_bytes(comp) < 0.30 * state_dict_num_bytes(s)
+
+    def test_q4_eighth_payload(self):
+        s = OrderedDict(w=np.random.default_rng(0).standard_normal((64, 64)).astype(np.float32))
+        comp = QuantizedCodec(4).compress(s)
+        assert state_dict_num_bytes(comp) < 0.16 * state_dict_num_bytes(s)
+
+    def test_constant_tensor(self):
+        s = OrderedDict(w=np.full((5, 5), 3.25, dtype=np.float32))
+        c = QuantizedCodec(8)
+        out = c.decompress(c.compress(s))
+        np.testing.assert_allclose(out["w"], s["w"], atol=1e-6)
+
+    def test_shape_preserved(self):
+        s = OrderedDict(w=np.random.default_rng(0).standard_normal((3, 4, 5)).astype(np.float32))
+        out = QuantizedCodec(4).decompress(QuantizedCodec(4).compress(s))
+        assert out["w"].shape == (3, 4, 5)
+
+    def test_invalid_bits(self):
+        for bits in (1, 9, 0):
+            with pytest.raises(ValueError):
+                QuantizedCodec(bits)
+
+    def test_compressed_state_serializable(self):
+        s = sample_state()
+        payload = dumps_state_dict(QuantizedCodec(8).compress(s))
+        assert isinstance(payload, bytes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bits=st.sampled_from([2, 4, 8]), seed=st.integers(0, 500), n=st.integers(1, 64))
+    def test_property_error_bound(self, bits, seed, n):
+        v = np.random.default_rng(seed).standard_normal(n).astype(np.float32) * 5
+        s = OrderedDict(w=v)
+        c = QuantizedCodec(bits)
+        out = c.decompress(c.compress(s))
+        rng_ = float(v.max() - v.min())
+        assert np.abs(out["w"] - v).max() <= max(rng_ * c.max_error() * 1.01, 1e-6)
+
+
+class TestRegistry:
+    def test_names(self):
+        for name in ("identity", "none", "fp16", "q8", "q4"):
+            assert name in CODEC_REGISTRY
+
+    def test_make_codec(self):
+        assert make_codec(None).name == "identity"
+        assert make_codec("fp16").name == "fp16"
+        assert make_codec("q4").name == "q4"
+        with pytest.raises(KeyError):
+            make_codec("gzip")
+
+
+class TestChannelIntegration:
+    def test_meter_charges_compressed_size(self):
+        s = sample_state()
+        plain = CommMeter()
+        Channel(plain).download(0, s)
+        fp16 = CommMeter()
+        Channel(fp16, codec=make_codec("fp16")).download(0, s)
+        q8 = CommMeter()
+        Channel(q8, codec=make_codec("q8")).download(0, s)
+        assert fp16.total < 0.6 * plain.total
+        assert q8.total < 0.4 * plain.total
+
+    def test_receiver_sees_float32(self):
+        s = sample_state()
+        out = Channel(CommMeter(), codec=make_codec("q8")).upload(0, s)
+        assert out["w"].dtype == np.float32
+        assert set(out) == set(s)
+
+    def test_fl_run_with_compression(self, tiny_world):
+        from repro.data.federated import build_federated_dataset
+        from repro.fl import FedAvg, FLConfig
+        from repro.nn.models import MLP
+
+        fed = build_federated_dataset(
+            tiny_world, num_clients=3, n_train=120, n_test=40, n_public=40, alpha=1.0, seed=0
+        )
+        model_fn = lambda: MLP(3 * 8 * 8, 4, hidden=(8,), seed=0)
+        cfg = FLConfig(rounds=2, sample_ratio=1.0, local_epochs=1, batch_size=20, seed=0)
+        plain = FedAvg(model_fn, fed, cfg).run()
+        comp = FedAvg(model_fn, fed, cfg.with_overrides(compression="fp16")).run()
+        assert comp.total_bytes < 0.6 * plain.total_bytes
+        assert comp.best_accuracy > 0.2  # still learns through the lossy wire

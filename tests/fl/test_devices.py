@@ -1,0 +1,57 @@
+"""Device profiles and resource-aware model assignment."""
+
+import pytest
+
+from repro.fl.devices import (
+    DEVICE_TIERS,
+    DeviceProfile,
+    assign_models_by_resources,
+    sample_device_profiles,
+)
+
+
+class TestTiers:
+    def test_tiers_ordered_by_memory(self):
+        mems = [t.memory_mb for t in DEVICE_TIERS]
+        assert mems == sorted(mems)
+
+    def test_paper_models_map_onto_tiers(self):
+        """At paper scale the three tiers hold exactly ResNet-20/32/44."""
+        sizes = {"resnet-20": 1.10, "resnet-32": 1.88, "resnet-44": 2.66}
+        assignment = assign_models_by_resources(list(DEVICE_TIERS), sizes)
+        assert assignment == ["resnet-20", "resnet-32", "resnet-44"]
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = sample_device_profiles(20, seed=0)
+        b = sample_device_profiles(20, seed=0)
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_tier_probs(self):
+        profiles = sample_device_profiles(200, seed=0, tier_probs=(1.0, 0.0, 0.0))
+        assert all(p.name == "iot-small" for p in profiles)
+
+    def test_tier_probs_validation(self):
+        with pytest.raises(ValueError):
+            sample_device_profiles(5, tier_probs=(0.5, 0.5))
+
+    def test_all_tiers_appear(self):
+        profiles = sample_device_profiles(100, seed=0)
+        assert {p.name for p in profiles} == {t.name for t in DEVICE_TIERS}
+
+
+class TestAssignment:
+    def test_largest_fitting_chosen(self):
+        prof = DeviceProfile("x", memory_mb=2.0, compute_gflops=1.0)
+        sizes = {"small": 0.5, "mid": 1.5, "large": 3.0}
+        assert assign_models_by_resources([prof], sizes) == ["mid"]
+
+    def test_no_fit_raises(self):
+        prof = DeviceProfile("tiny", memory_mb=0.1, compute_gflops=0.1)
+        with pytest.raises(ValueError):
+            assign_models_by_resources([prof], {"big": 5.0})
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            assign_models_by_resources([DEVICE_TIERS[0]], {})

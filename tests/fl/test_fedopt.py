@@ -1,0 +1,76 @@
+"""FedOpt family: server-side adaptive optimization."""
+
+import numpy as np
+import pytest
+
+from repro.data.federated import build_federated_dataset
+from repro.fl import FedAvg, FLConfig
+from repro.fl.algorithms.fedopt import FedAdam, FedAvgM
+from repro.nn.models import MLP
+
+
+@pytest.fixture(scope="module")
+def fed(tiny_world):
+    return build_federated_dataset(
+        tiny_world, num_clients=4, n_train=240, n_test=80, n_public=80, alpha=1.0, seed=0
+    )
+
+
+def mlp_fn():
+    return MLP(3 * 8 * 8, num_classes=4, hidden=(16,), seed=1)
+
+
+CFG = FLConfig(rounds=2, sample_ratio=0.5, local_epochs=1, batch_size=20, lr=0.05, seed=0)
+
+
+class TestFedOptRuns:
+    @pytest.mark.parametrize("cls", [FedAvgM, FedAdam])
+    def test_runs_and_is_finite(self, cls, fed):
+        h = cls(mlp_fn, fed, CFG).run()
+        assert h.num_rounds == 2
+        assert np.isfinite(h.accuracies).all()
+
+    @pytest.mark.parametrize("cls", [FedAvgM, FedAdam])
+    def test_same_wire_cost_as_fedavg(self, cls, fed):
+        base = FedAvg(mlp_fn, fed, CFG).run(rounds=1).total_bytes
+        opt = cls(mlp_fn, fed, CFG).run(rounds=1).total_bytes
+        assert base == opt
+
+    @pytest.mark.parametrize("cls", [FedAvgM, FedAdam])
+    def test_learns(self, cls, fed):
+        cfg = CFG.with_overrides(rounds=6, sample_ratio=1.0, local_epochs=2, server_lr=0.5)
+        h = cls(mlp_fn, fed, cfg).run()
+        assert h.best_accuracy > 0.45
+
+
+class TestServerDynamics:
+    def test_fedavgm_momentum_accumulates(self, fed):
+        algo = FedAvgM(mlp_fn, fed, CFG.with_overrides(sample_ratio=1.0))
+        algo.run(rounds=2)
+        assert algo._velocity is not None
+        assert any(np.abs(v).sum() > 0 for v in algo._velocity.values())
+
+    def test_fedadam_moments_tracked(self, fed):
+        algo = FedAdam(mlp_fn, fed, CFG.with_overrides(sample_ratio=1.0))
+        algo.run(rounds=2)
+        assert algo._t == 2
+        assert any(np.abs(v).sum() > 0 for v in algo._v.values())
+
+    def test_fedavgm_beta_zero_server_lr_one_equals_fedavg_params(self, fed):
+        """β=0, η_s=1 collapses FedAvgM's parameter update to FedAvg's."""
+        cfg = CFG.with_overrides(sample_ratio=1.0, rounds=1, server_lr=1.0)
+        a = FedAvg(mlp_fn, fed, cfg)
+        m = FedAvgM(mlp_fn, fed, cfg)
+        m.beta = 0.0
+        a.run()
+        m.run()
+        for (k1, p1), (k2, p2) in zip(
+            a.global_model.named_parameters(), m.global_model.named_parameters()
+        ):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-5, err_msg=k1)
+
+    def test_registered(self):
+        from repro.fl.algorithms import ALGORITHM_REGISTRY
+
+        assert "fedavgm" in ALGORITHM_REGISTRY
+        assert "fedadam" in ALGORITHM_REGISTRY

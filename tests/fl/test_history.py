@@ -1,0 +1,77 @@
+"""Run history records."""
+
+import numpy as np
+import pytest
+
+from repro.fl.history import RoundRecord, RunHistory
+
+
+def record(i, acc=0.5, bytes_=100):
+    return RoundRecord(
+        round_idx=i,
+        accuracy=acc,
+        loss=1.0,
+        cum_bytes=bytes_ * i,
+        round_bytes=bytes_,
+        num_selected=4,
+    )
+
+
+class TestHistory:
+    def test_sequential_append_enforced(self):
+        h = RunHistory("FedAvg", "resnet", 10, 0.4)
+        h.append(record(1))
+        with pytest.raises(ValueError):
+            h.append(record(3))
+
+    def test_series_properties(self):
+        h = RunHistory("FedAvg", "resnet", 10, 0.4)
+        for i, acc in enumerate([0.1, 0.4, 0.3], start=1):
+            h.append(record(i, acc=acc))
+        np.testing.assert_allclose(h.accuracies, [0.1, 0.4, 0.3])
+        assert h.final_accuracy == 0.3
+        assert h.best_accuracy == 0.4
+        assert h.num_rounds == 3
+        assert h.total_bytes == 300
+
+    def test_bytes_at_round(self):
+        h = RunHistory("FedAvg", "m", 4, 0.5)
+        for i in range(1, 4):
+            h.append(record(i))
+        assert h.bytes_at_round(2) == 200
+        with pytest.raises(IndexError):
+            h.bytes_at_round(0)
+        with pytest.raises(IndexError):
+            h.bytes_at_round(4)
+
+    def test_round_cost_per_client(self):
+        h = RunHistory("FedAvg", "m", 4, 0.5)
+        h.append(record(1, bytes_=4_000_000))  # 4 MB over 4 clients
+        assert h.round_cost_per_client_mb() == 1.0
+
+    def test_empty_history_guards(self):
+        h = RunHistory("FedAvg", "m", 4, 0.5)
+        assert h.total_bytes == 0
+        assert h.round_cost_per_client_mb() == 0.0
+        with pytest.raises(ValueError):
+            _ = h.final_accuracy
+
+    def test_local_accuracies_nan_padding(self):
+        h = RunHistory("FedKEMF", "m", 4, 0.5)
+        h.append(record(1))
+        r2 = record(2)
+        r2.local_accuracy = 0.7
+        h.append(r2)
+        locs = h.local_accuracies
+        assert np.isnan(locs[0]) and locs[1] == 0.7
+
+    def test_to_dict_round_trip_fields(self):
+        h = RunHistory("FedAvg", "m", 4, 0.5, meta={"scale": "smoke"})
+        h.append(record(1))
+        d = h.to_dict()
+        assert d["algorithm"] == "FedAvg"
+        assert d["meta"]["scale"] == "smoke"
+        assert d["rounds"][0]["round"] == 1
+        import json
+
+        json.dumps(d)  # must be JSON-serializable

@@ -1,0 +1,109 @@
+"""Edge-system latency simulation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.devices import DEVICE_TIERS, DeviceProfile
+from repro.fl.latency import (
+    ClientTiming,
+    estimate_client_time,
+    estimate_round_time,
+    simulate_epoch_times,
+)
+from repro.nn.models import MLP, resnet20, resnet44
+
+
+SMALL = DEVICE_TIERS[0]
+MID = DEVICE_TIERS[1]
+LARGE = DEVICE_TIERS[2]
+
+
+class TestClientTime:
+    def test_components_positive(self):
+        m = MLP(8, 4, hidden=(16,), seed=0)
+        t = estimate_client_time(0, m, MID, steps=10, batch_input_shape=(16, 8), payload_bytes=1_000_000)
+        assert t.compute_s > 0 and t.comm_s > 0
+        assert t.total_s == t.compute_s + t.comm_s
+
+    def test_faster_device_less_compute_time(self):
+        m = resnet20(seed=0, width_mult=0.25)
+        slow = estimate_client_time(0, m, SMALL, 5, (8, 3, 8, 8), 0)
+        fast = estimate_client_time(0, m, LARGE, 5, (8, 3, 8, 8), 0)
+        assert fast.compute_s < slow.compute_s / 4
+
+    def test_comm_time_scales_with_payload(self):
+        m = MLP(8, 4, seed=0)
+        t1 = estimate_client_time(0, m, MID, 1, (1, 8), 1_000_000)
+        t2 = estimate_client_time(0, m, MID, 1, (1, 8), 4_000_000)
+        assert abs(t2.comm_s - 4 * t1.comm_s) < 1e-9
+
+    def test_zero_steps_pure_comm(self):
+        m = MLP(8, 4, seed=0)
+        t = estimate_client_time(0, m, MID, 0, (1, 8), 1000)
+        assert t.compute_s == 0 and t.comm_s > 0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_client_time(0, MLP(8, 4, seed=0), MID, -1, (1, 8), 0)
+
+    def test_unknown_tier_uses_default_bandwidth(self):
+        prof = DeviceProfile("custom", 4.0, 4.0)
+        t = estimate_client_time(0, MLP(8, 4, seed=0), prof, 1, (1, 8), 10_000_000)
+        assert t.comm_s == 10_000_000 * 8 / 10e6
+
+
+class TestRoundTime:
+    def test_straggler_is_max(self):
+        models = [resnet44(seed=0, width_mult=0.25), resnet44(seed=1, width_mult=0.25)]
+        profiles = [SMALL, LARGE]
+        rt = estimate_round_time(models, profiles, [0, 1], [5, 5], (8, 3, 8, 8), [1000, 1000])
+        assert rt.straggler_s == max(c.total_s for c in rt.clients)
+        assert rt.utilization < 1.0
+
+    def test_uniform_fleet_high_utilization(self):
+        models = [resnet20(seed=s, width_mult=0.25) for s in range(3)]
+        profiles = [MID] * 3
+        rt = estimate_round_time(models, profiles, [0, 1, 2], [4, 4, 4], (8, 3, 8, 8), [100] * 3)
+        assert rt.utilization > 0.99
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_round_time([], [], [], [], (1, 8), [])
+
+    def test_resource_matching_beats_uniform_big_model(self):
+        """The paper's system argument: deploying ResNet-44 everywhere is
+        gated by the iot tier; matching models to devices balances the
+        round."""
+        profiles = [SMALL, MID, LARGE]
+        uniform = [resnet44(seed=s, width_mult=0.25) for s in range(3)]
+        matched = [
+            resnet20(seed=0, width_mult=0.25),
+            resnet20(seed=1, width_mult=0.25),  # mid gets something light too
+            resnet44(seed=2, width_mult=0.25),
+        ]
+        args = dict(
+            selected=[0, 1, 2],
+            steps_per_client=[4, 4, 4],
+            batch_input_shape=(8, 3, 8, 8),
+            payload_bytes_per_client=[1000] * 3,
+        )
+        rt_uniform = estimate_round_time(uniform, profiles, **args)
+        rt_matched = estimate_round_time(matched, profiles, **args)
+        assert rt_matched.straggler_s < rt_uniform.straggler_s
+        assert rt_matched.utilization > rt_uniform.utilization
+
+
+class TestEpochConvenience:
+    def test_steps_from_shards(self):
+        models = [MLP(8, 4, seed=s) for s in range(2)]
+        profiles = [MID, MID]
+        rt = simulate_epoch_times(
+            models, profiles, samples_per_client=[100, 10], batch_size=20,
+            local_epochs=2, batch_input_shape=(20, 8), payload_bytes=500,
+        )
+        # client 0: 5 batches × 2 epochs; client 1: 1 batch × 2 epochs
+        assert rt.clients[0].compute_s > 4 * rt.clients[1].compute_s
+
+    def test_misaligned_lists_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_epoch_times([MLP(8, 4, seed=0)], [MID, MID], [10], 5, 1, (5, 8), 100)

@@ -1,0 +1,51 @@
+"""Property-based tests of the convergence/target queries."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fl.metrics import converged_round, rounds_to_target
+
+acc_series = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=40)
+
+
+class TestRoundsToTargetProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(accs=acc_series, target=st.floats(0.0, 1.0))
+    def test_result_is_first_crossing(self, accs, target):
+        r = rounds_to_target(accs, target)
+        if r is None:
+            assert all(a < target for a in accs)
+        else:
+            assert accs[r - 1] >= target
+            assert all(a < target for a in accs[: r - 1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(accs=acc_series, t1=st.floats(0.0, 1.0), t2=st.floats(0.0, 1.0))
+    def test_monotone_in_target(self, accs, t1, t2):
+        """A higher target can never be reached earlier."""
+        lo, hi = min(t1, t2), max(t1, t2)
+        r_lo = rounds_to_target(accs, lo)
+        r_hi = rounds_to_target(accs, hi)
+        if r_hi is not None:
+            assert r_lo is not None and r_lo <= r_hi
+
+
+class TestConvergedRoundProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(accs=acc_series)
+    def test_within_bounds(self, accs):
+        c = converged_round(accs)
+        assert 1 <= c <= len(accs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(accs=acc_series, tol=st.floats(0.001, 0.2))
+    def test_no_significant_gain_after_convergence(self, accs, tol):
+        c = converged_round(accs, window=3, tol=tol)
+        if c < len(accs):
+            future_best = max(accs[c:])  # accs[c:] are rounds after round c
+            assert future_best - accs[c - 1] <= tol + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.floats(0.1, 0.9), n=st.integers(8, 30))
+    def test_flat_series_converges_immediately(self, base, n):
+        assert converged_round([base] * n, window=3, tol=0.01) == 1

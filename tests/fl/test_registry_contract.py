@@ -1,0 +1,56 @@
+"""Algorithm-registry contract: every entry is constructible the same way.
+
+The experiment runner instantiates algorithms generically; this pins the
+constructor contract so a future algorithm can't silently break the CLI
+and bench harness.
+"""
+
+import inspect
+
+import pytest
+
+from repro.fl.algorithms import ALGORITHM_REGISTRY
+from repro.fl.algorithms.base import FLAlgorithm
+
+# algorithms that accept (and require routing of) per-client local models
+KNOWLEDGE_STYLE = {"fedkemf", "fedkd"}
+
+
+class TestRegistryContract:
+    def test_expected_algorithms_present(self):
+        expected = {
+            "fedavg", "fedprox", "fednova", "scaffold", "feddf",
+            "fedmd", "fedkemf", "fedkd", "fedavgm", "fedadam",
+        }
+        assert expected <= set(ALGORITHM_REGISTRY.names())
+
+    @pytest.mark.parametrize("name", [
+        "fedavg", "fedprox", "fednova", "scaffold", "feddf",
+        "fedmd", "fedkemf", "fedkd", "fedavgm", "fedadam",
+    ])
+    def test_is_flalgorithm_subclass(self, name):
+        cls = ALGORITHM_REGISTRY.get(name)
+        assert issubclass(cls, FLAlgorithm)
+
+    @pytest.mark.parametrize("name", [
+        "fedavg", "fedprox", "fednova", "scaffold", "feddf",
+        "fedmd", "fedkemf", "fedkd", "fedavgm", "fedadam",
+    ])
+    def test_constructor_signature(self, name):
+        """(model_fn, fed, config) positional prefix must be accepted."""
+        cls = ALGORITHM_REGISTRY.get(name)
+        params = list(inspect.signature(cls.__init__).parameters)
+        assert params[1:4] == ["model_fn", "fed", "config"], f"{name}: {params}"
+
+    @pytest.mark.parametrize("name", sorted(KNOWLEDGE_STYLE))
+    def test_knowledge_style_accepts_local_models(self, name):
+        cls = ALGORITHM_REGISTRY.get(name)
+        params = inspect.signature(cls.__init__).parameters
+        assert "local_model_fns" in params
+
+    def test_display_names_unique(self):
+        names = [ALGORITHM_REGISTRY.get(n).name for n in ALGORITHM_REGISTRY.names()]
+        # aliases may repeat, but distinct classes must have distinct labels
+        classes = {ALGORITHM_REGISTRY.get(n) for n in ALGORITHM_REGISTRY.names()}
+        labels = [c.name for c in classes]
+        assert len(labels) == len(set(labels))

@@ -1,0 +1,59 @@
+"""Client sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl.sampler import ClientSampler
+
+
+class TestSampler:
+    def test_count_from_ratio(self):
+        assert ClientSampler(10, 0.4, seed=0).per_round == 4
+        assert ClientSampler(30, 0.4, seed=0).per_round == 12
+        assert ClientSampler(3, 0.01, seed=0).per_round == 1  # at least one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientSampler(10, 0.0)
+        with pytest.raises(ValueError):
+            ClientSampler(10, 1.5)
+        with pytest.raises(ValueError):
+            ClientSampler(0, 0.5)
+
+    def test_deterministic_per_round(self):
+        a = ClientSampler(20, 0.3, seed=7)
+        b = ClientSampler(20, 0.3, seed=7)
+        for r in range(5):
+            assert a.sample(r) == b.sample(r)
+
+    def test_rounds_differ(self):
+        s = ClientSampler(20, 0.3, seed=0)
+        assert any(s.sample(0) != s.sample(r) for r in range(1, 5))
+
+    def test_no_replacement_sorted(self):
+        s = ClientSampler(10, 0.7, seed=0)
+        ids = s.sample(0)
+        assert ids == sorted(set(ids))
+        assert all(0 <= i < 10 for i in ids)
+
+    def test_full_participation(self):
+        s = ClientSampler(6, 1.0, seed=0)
+        assert s.sample(3) == list(range(6))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 50), ratio=st.floats(0.05, 1.0), r=st.integers(0, 100))
+    def test_property_valid_samples(self, n, ratio, r):
+        s = ClientSampler(n, ratio, seed=1)
+        ids = s.sample(r)
+        assert len(ids) == s.per_round
+        assert len(set(ids)) == len(ids)
+        assert all(0 <= i < n for i in ids)
+
+    def test_coverage_over_many_rounds(self):
+        """Every client should participate eventually."""
+        s = ClientSampler(10, 0.3, seed=0)
+        seen = set()
+        for r in range(50):
+            seen.update(s.sample(r))
+        assert seen == set(range(10))

@@ -1,0 +1,79 @@
+"""Local trainer behavior."""
+
+import numpy as np
+
+from repro.data.synthetic import make_blobs
+from repro.fl.metrics import evaluate_model
+from repro.fl.trainer import LocalTrainer
+from repro.nn.models import MLP
+
+
+class TestLocalTrainer:
+    def test_loss_decreases(self):
+        ds = make_blobs(120, num_classes=4, dim=8, separation=4.0, seed=0)
+        m = MLP(8, 4, hidden=(16,), seed=0)
+        tr = LocalTrainer(ds, batch_size=16, lr=0.05, seed=0)
+        s1 = tr.train(m, epochs=1)
+        s2 = tr.train(m, epochs=3, round_idx=1)
+        assert s2.mean_loss < s1.mean_loss
+
+    def test_accuracy_improves(self):
+        ds = make_blobs(150, num_classes=4, dim=8, separation=4.0, seed=0)
+        te = make_blobs(60, num_classes=4, dim=8, separation=4.0, seed=1)
+        m = MLP(8, 4, hidden=(16,), seed=0)
+        before = evaluate_model(m, te)[0]
+        LocalTrainer(ds, batch_size=16, lr=0.05, seed=0).train(m, epochs=5)
+        after = evaluate_model(m, te)[0]
+        assert after > before + 0.2
+
+    def test_step_counting(self):
+        ds = make_blobs(100, num_classes=4, dim=8, seed=0)
+        m = MLP(8, 4, seed=0)
+        stats = LocalTrainer(ds, batch_size=25, seed=0).train(m, epochs=2)
+        assert stats.steps == 2 * 4  # 100/25 batches per epoch
+        assert stats.epochs == 2
+        assert stats.samples_seen == 200
+
+    def test_grad_hook_called_per_step(self):
+        ds = make_blobs(50, num_classes=4, dim=8, seed=0)
+        m = MLP(8, 4, seed=0)
+        calls = []
+        LocalTrainer(ds, batch_size=25, seed=0).train(
+            m, epochs=1, grad_hook=lambda model: calls.append(1)
+        )
+        assert len(calls) == 2
+
+    def test_grad_hook_modifies_update(self):
+        ds = make_blobs(50, num_classes=4, dim=8, seed=0)
+        m1 = MLP(8, 4, seed=0)
+        m2 = MLP(8, 4, seed=0)
+
+        def zero_hook(model):
+            for p in model.parameters():
+                p.grad[...] = 0.0
+
+        LocalTrainer(ds, batch_size=50, lr=0.1, momentum=0.0, seed=0).train(
+            m1, epochs=1, grad_hook=zero_hook
+        )
+        # zeroed gradients → no movement
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_lr_override(self):
+        ds = make_blobs(50, num_classes=4, dim=8, seed=0)
+        m1 = MLP(8, 4, seed=0)
+        m2 = MLP(8, 4, seed=0)
+        LocalTrainer(ds, batch_size=50, lr=0.1, momentum=0.0, seed=0).train(m1, epochs=1, lr=1e-8)
+        LocalTrainer(ds, batch_size=50, lr=0.1, momentum=0.0, seed=0).train(m2, epochs=1)
+        d1 = np.abs(m1.net[1].weight.data - MLP(8, 4, seed=0).net[1].weight.data).max()
+        d2 = np.abs(m2.net[1].weight.data - MLP(8, 4, seed=0).net[1].weight.data).max()
+        assert d1 < d2
+
+    def test_round_idx_changes_shuffle(self):
+        ds = make_blobs(64, num_classes=4, dim=8, seed=0)
+        tr = LocalTrainer(ds, batch_size=64, seed=0)
+        l0 = tr.make_loader(0)
+        l1 = tr.make_loader(1)
+        (x0, _), = list(l0)
+        (x1, _), = list(l1)
+        assert not np.allclose(x0, x1)

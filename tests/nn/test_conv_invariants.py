@@ -1,0 +1,120 @@
+"""Algebraic invariants of the convolution/pooling kernels (hypothesis).
+
+Cheaper than finite differences and complementary to them: these pin the
+linear-operator structure of conv2d and the order statistics of pooling
+across random geometries.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+geom = st.tuples(
+    st.integers(1, 3),  # batch
+    st.integers(1, 4),  # in channels
+    st.integers(1, 4),  # out channels
+    st.integers(3, 8),  # spatial
+    st.sampled_from([1, 3]),  # kernel
+    st.sampled_from([1, 2]),  # stride
+    st.sampled_from([0, 1]),  # padding
+)
+
+
+def rand(shape, seed, scale=1.0):
+    return (np.random.default_rng(seed).standard_normal(shape) * scale).astype(np.float32)
+
+
+class TestConvLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(g=geom, seed=st.integers(0, 1000))
+    def test_additive_in_input(self, g, seed):
+        n, cin, cout, hw, k, stride, pad = g
+        if hw + 2 * pad < k:
+            return
+        a = rand((n, cin, hw, hw), seed)
+        b = rand((n, cin, hw, hw), seed + 1)
+        w = Tensor(rand((cout, cin, k, k), seed + 2, 0.5))
+        lhs = F.conv2d(Tensor(a + b), w, stride=stride, padding=pad).data
+        rhs = (
+            F.conv2d(Tensor(a), w, stride=stride, padding=pad).data
+            + F.conv2d(Tensor(b), w, stride=stride, padding=pad).data
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=geom, seed=st.integers(0, 1000), c=st.floats(-3.0, 3.0))
+    def test_homogeneous_in_weights(self, g, seed, c):
+        n, cin, cout, hw, k, stride, pad = g
+        if hw + 2 * pad < k:
+            return
+        x = Tensor(rand((n, cin, hw, hw), seed))
+        w = rand((cout, cin, k, k), seed + 1, 0.5)
+        lhs = F.conv2d(x, Tensor(w * np.float32(c)), stride=stride, padding=pad).data
+        rhs = c * F.conv2d(x, Tensor(w), stride=stride, padding=pad).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=geom, seed=st.integers(0, 1000))
+    def test_zero_input_gives_bias(self, g, seed):
+        n, cin, cout, hw, k, stride, pad = g
+        if hw + 2 * pad < k:
+            return
+        x = Tensor(np.zeros((n, cin, hw, hw), dtype=np.float32))
+        w = Tensor(rand((cout, cin, k, k), seed, 0.5))
+        bias = Tensor(rand((cout,), seed + 1))
+        out = F.conv2d(x, w, bias, stride=stride, padding=pad).data
+        expected = np.broadcast_to(bias.data.reshape(1, cout, 1, 1), out.shape)
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_identity_kernel(self, seed):
+        """1×1 conv with identity channel mixing must reproduce the input."""
+        x = rand((2, 3, 5, 5), seed)
+        w = np.eye(3, dtype=np.float32).reshape(3, 3, 1, 1)
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+
+class TestPoolingOrderStatistics:
+    pool_geom = st.tuples(st.integers(1, 3), st.integers(1, 3), st.sampled_from([2, 4]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=pool_geom, seed=st.integers(0, 1000))
+    def test_max_ge_avg(self, g, seed):
+        n, c, k = g
+        x = Tensor(rand((n, c, 2 * k, 2 * k), seed))
+        mx = F.max_pool2d(x, k).data
+        av = F.avg_pool2d(x, k).data
+        assert (mx >= av - 1e-6).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=pool_geom, seed=st.integers(0, 1000))
+    def test_pool_outputs_come_from_input(self, g, seed):
+        n, c, k = g
+        x = rand((n, c, 2 * k, 2 * k), seed)
+        mx = F.max_pool2d(Tensor(x), k).data
+        # every max-pool output value must literally appear in the input
+        assert np.isin(mx.round(5), x.round(5)).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=pool_geom, seed=st.integers(0, 1000))
+    def test_avg_preserves_mean(self, g, seed):
+        n, c, k = g
+        x = rand((n, c, 2 * k, 2 * k), seed)
+        av = F.avg_pool2d(Tensor(x), k).data
+        np.testing.assert_allclose(
+            av.mean(axis=(2, 3)), x.mean(axis=(2, 3)), atol=1e-5
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=pool_geom, seed=st.integers(0, 1000), shift=st.floats(-5.0, 5.0))
+    def test_max_pool_shift_equivariant(self, g, seed, shift):
+        n, c, k = g
+        x = rand((n, c, 2 * k, 2 * k), seed)
+        a = F.max_pool2d(Tensor(x + np.float32(shift)), k).data
+        b = F.max_pool2d(Tensor(x), k).data + np.float32(shift)
+        np.testing.assert_allclose(a, b, atol=1e-4)

@@ -1,0 +1,59 @@
+"""Loss module wrappers."""
+
+import numpy as np
+
+from repro.nn import CrossEntropyLoss, KLDivLoss, MSELoss, SoftTargetKLLoss
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.helpers import rand_t
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self):
+        x = rand_t((4, 5), seed=1)
+        y = np.array([0, 1, 2, 3])
+        assert CrossEntropyLoss()(x, y).item() == F.cross_entropy(x, y).item()
+
+    def test_sum_reduction(self):
+        x = rand_t((4, 5), seed=2)
+        y = np.array([0, 1, 2, 3])
+        m = CrossEntropyLoss(reduction="sum")(x, y).item()
+        assert abs(m - 4 * CrossEntropyLoss()(x, y).item()) < 1e-4
+
+
+class TestKLDivLoss:
+    def test_zero_for_self(self):
+        x = rand_t((3, 4), seed=3)
+        assert abs(KLDivLoss()(x.detach(), x).item()) < 1e-6
+
+    def test_temperature_forwarded(self):
+        t = rand_t((3, 4), seed=4, scale=3.0, requires_grad=False)
+        s = rand_t((3, 4), seed=5, scale=3.0)
+        assert KLDivLoss(temperature=5.0)(t, s).item() < KLDivLoss()(t, s).item()
+
+
+class TestSoftTargetKL:
+    def test_matches_prob_teacher(self):
+        probs = np.array([[0.7, 0.2, 0.1], [0.1, 0.1, 0.8]], dtype=np.float32)
+        s = rand_t((2, 3), seed=6)
+        loss = SoftTargetKLLoss()(probs, s)
+        # teacher = log(probs): softmax(log p) = p, so KL(p || q)
+        ref = F.kl_div_with_logits(np.log(probs), s)
+        assert abs(loss.item() - ref.item()) < 1e-6
+
+    def test_survives_zero_probs(self):
+        probs = np.array([[1.0, 0.0]], dtype=np.float32)
+        s = rand_t((1, 2), seed=7)
+        assert np.isfinite(SoftTargetKLLoss()(probs, s).item())
+
+
+class TestMSELoss:
+    def test_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]], dtype=np.float32), requires_grad=True)
+        target = np.array([[0.0, 0.0]], dtype=np.float32)
+        assert abs(MSELoss()(pred, target).item() - 2.5) < 1e-6
+
+    def test_zero_at_target(self):
+        pred = rand_t((3, 3), seed=8)
+        assert MSELoss()(pred, pred.data.copy()).item() == 0.0

@@ -1,0 +1,62 @@
+"""Additional zoo coverage: VGG-13/16, resnet-56, reprs, eval-mode BN."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model, resnet56
+from repro.nn.tensor import Tensor
+
+from tests.helpers import rand_t
+
+
+class TestExtendedZoo:
+    @pytest.mark.parametrize("name", ["vgg-13", "vgg-16", "resnet-56"])
+    def test_builds_and_forwards(self, name):
+        m = build_model(name, image_size=8, width_mult=0.125, seed=0)
+        x = rand_t((2, 3, 8, 8), requires_grad=False)
+        assert m(x).shape == (2, 10)
+
+    def test_vgg_family_ordering(self):
+        sizes = [
+            build_model(n, image_size=8, width_mult=0.125, seed=0).num_parameters()
+            for n in ("vgg-11", "vgg-13", "vgg-16")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_resnet56_depth(self):
+        m = resnet56(width_mult=0.125, seed=0)
+        assert m.depth == 56
+
+
+class TestTrainEvalConsistency:
+    def test_bn_models_deterministic_in_eval(self):
+        m = build_model("resnet-20", image_size=8, width_mult=0.125, seed=0)
+        m.eval()
+        x = rand_t((3, 3, 8, 8), requires_grad=False)
+        a = m(x).data
+        b = m(x).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_train_mode_updates_running_stats(self):
+        m = build_model("resnet-20", image_size=8, width_mult=0.125, seed=0)
+        bn = m.bn_stem
+        before = bn.running_mean.copy()
+        m.train()
+        x = rand_t((8, 3, 8, 8), requires_grad=False, scale=3.0)
+        m(x)
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_eval_after_train_uses_population_stats(self):
+        m = build_model("resnet-20", image_size=8, width_mult=0.125, seed=0)
+        x = rand_t((8, 3, 8, 8), requires_grad=False)
+        m.train()
+        train_out = m(x).data
+        m.eval()
+        eval_out = m(x).data
+        assert not np.allclose(train_out, eval_out)
+
+    def test_reprs_render(self):
+        for name in ("resnet-20", "vgg-11", "cnn-2", "mlp"):
+            c = 1 if name in ("cnn-2", "mlp") else 3
+            m = build_model(name, in_channels=c, image_size=8, width_mult=0.125, seed=0)
+            assert isinstance(repr(m), str) and len(repr(m)) > 0

@@ -1,0 +1,138 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, BatchNorm2d, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = TwoLayer()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_reassignment_moves_registration(self):
+        m = TwoLayer()
+        m.fc1 = Linear(4, 4, rng=np.random.default_rng(2))
+        assert m.fc1.out_features == 4
+        assert len(m.parameters()) == 4
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(3)
+        names = [n for n, _ in bn.named_buffers()]
+        assert names == ["running_mean", "running_var"]
+
+    def test_num_parameters_and_bytes(self):
+        m = Linear(10, 5, rng=np.random.default_rng(0))
+        assert m.num_parameters() == 10 * 5 + 5
+        assert m.num_bytes() == 4 * m.num_parameters()
+
+    def test_num_bytes_includes_buffers(self):
+        bn = BatchNorm2d(4)
+        assert bn.num_bytes() == 4 * (4 + 4 + 4 + 4)
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU(), BatchNorm2d(1))
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_zero_grad(self):
+        m = TwoLayer()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        m(x).sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_apply_visits_all(self):
+        m = TwoLayer()
+        visited = []
+        m.apply(lambda mod: visited.append(type(mod).__name__))
+        assert "TwoLayer" in visited and visited.count("Linear") == 2
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        m1, m2 = TwoLayer(), TwoLayer()
+        m2.load_state_dict(m1.state_dict())
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_copy_semantics(self):
+        m = TwoLayer()
+        sd = m.state_dict()
+        sd["fc1.weight"][...] = 0.0
+        assert not np.allclose(m.fc1.weight.data, 0.0)
+
+    def test_no_copy_view(self):
+        m = TwoLayer()
+        sd = m.state_dict(copy=False)
+        assert sd["fc1.weight"] is m.fc1.weight.data
+
+    def test_strict_missing_raises(self):
+        m = TwoLayer()
+        sd = m.state_dict()
+        del sd["fc2.bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_strict_unexpected_raises(self):
+        m = TwoLayer()
+        sd = m.state_dict()
+        sd["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_non_strict_ignores_extras(self):
+        m = TwoLayer()
+        sd = m.state_dict()
+        sd["bogus"] = np.zeros(1)
+        m.load_state_dict(sd, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        m = TwoLayer()
+        sd = m.state_dict()
+        sd["fc1.weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        sd = bn.state_dict()
+        assert "running_mean" in sd and "running_var" in sd
+        sd["running_mean"][...] = 5.0
+        bn.load_state_dict(sd)
+        np.testing.assert_allclose(bn.running_mean, [5.0, 5.0])
+
+    def test_load_in_place_preserves_arrays(self):
+        """FL aggregation relies on load_state_dict writing in place."""
+        m = TwoLayer()
+        before = m.fc1.weight.data
+        m.load_state_dict(m.state_dict())
+        assert m.fc1.weight.data is before
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        assert p.requires_grad
+
+    def test_repr(self):
+        assert "Parameter" in repr(Parameter(np.zeros((2, 2), dtype=np.float32)))

@@ -1,0 +1,92 @@
+"""GroupNorm / LayerNorm / GELU / LeakyReLU (FL-friendly extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import GELU, GroupNorm, LayerNorm, LeakyReLU
+from repro.nn.tensor import Tensor
+
+from tests.helpers import check_grads, rand_t
+
+
+class TestGroupNormValues:
+    def test_normalizes_per_group(self):
+        x = rand_t((3, 4, 5, 5), seed=1, scale=4.0, requires_grad=False)
+        gn = GroupNorm(2, 4)
+        out = gn(x).data
+        # per (sample, group) statistics ≈ standardized
+        g = out.reshape(3, 2, 2, 5, 5)
+        np.testing.assert_allclose(g.mean(axis=(2, 3, 4)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(g.std(axis=(2, 3, 4)), 1.0, atol=1e-3)
+
+    def test_batch_independence(self):
+        """The FL property: a sample's output must not depend on who else is
+        in the batch — unlike BatchNorm."""
+        gn = GroupNorm(2, 4)
+        a = rand_t((1, 4, 5, 5), seed=2, requires_grad=False)
+        b = rand_t((1, 4, 5, 5), seed=3, requires_grad=False)
+        ab = Tensor(np.concatenate([a.data, b.data]))
+        solo = gn(a).data
+        joint = gn(ab).data[:1]
+        np.testing.assert_allclose(solo, joint, atol=1e-5)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)
+        with pytest.raises(ValueError):
+            F.group_norm(rand_t((1, 4, 2, 2)), rand_t((4,)), rand_t((4,)), num_groups=3)
+
+    def test_grads(self):
+        x = rand_t((2, 4, 3, 3), seed=4)
+        gamma = rand_t((4,), seed=5)
+        gamma.data += 1.0
+        beta = rand_t((4,), seed=6)
+        check_grads(lambda: (F.group_norm(x, gamma, beta, 2) ** 2).mean(), [x, gamma, beta])
+
+
+class TestLayerNormValues:
+    def test_normalizes_rows(self):
+        x = rand_t((6, 12), seed=7, scale=3.0, requires_grad=False)
+        ln = LayerNorm(12)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_rejects_images(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(rand_t((2, 4, 3, 3)))
+
+    def test_grads(self):
+        x = rand_t((4, 6), seed=8)
+        gamma = rand_t((6,), seed=9)
+        gamma.data += 1.0
+        beta = rand_t((6,), seed=10)
+        check_grads(lambda: (F.layer_norm(x, gamma, beta) ** 2).mean(), [x, gamma, beta])
+
+
+class TestNewActivations:
+    def test_gelu_known_values(self):
+        # gelu(0)=0, gelu(large)≈x, gelu(-large)≈0
+        x = Tensor(np.array([0.0, 6.0, -6.0], dtype=np.float32))
+        out = GELU()(x).data
+        assert abs(out[0]) < 1e-6
+        assert abs(out[1] - 6.0) < 1e-3
+        assert abs(out[2]) < 1e-3
+
+    def test_gelu_grads(self):
+        x = rand_t((5, 4), seed=11, scale=2.0)
+        check_grads(lambda: F.gelu(x).sum(), [x])
+
+    def test_leaky_relu_values(self):
+        x = Tensor(np.array([-2.0, 3.0], dtype=np.float32))
+        out = LeakyReLU(0.1)(x).data
+        np.testing.assert_allclose(out, [-0.2, 3.0], atol=1e-6)
+
+    def test_leaky_relu_grads(self):
+        x = rand_t((4, 4), seed=12)
+        check_grads(lambda: F.leaky_relu(x, 0.2).sum(), [x])
+
+    def test_layers_have_no_params(self):
+        assert GELU().num_parameters() == 0
+        assert LeakyReLU().num_parameters() == 0

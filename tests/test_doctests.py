@@ -1,0 +1,26 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.data.dataset
+import repro.nn.models.factory
+import repro.nn.profiler
+import repro.utils.registry
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.utils.registry,
+        repro.nn.models.factory,
+        repro.nn.profiler,
+        repro.data.dataset,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

@@ -1,0 +1,49 @@
+"""Example scripts — static checks always; full execution behind an env flag.
+
+The examples take minutes of CPU, so `pytest tests/` only compiles them and
+checks their imports resolve; set ``REPRO_RUN_EXAMPLES=1`` to execute each
+end to end (used before releases).
+"""
+
+import ast
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+RUN = os.environ.get("REPRO_RUN_EXAMPLES", "0") == "1"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    source = script.read_text()
+    tree = ast.parse(source, filename=str(script))
+    # must define main() and guard it
+    names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in names, f"{script.name} has no main()"
+    compile(source, str(script), "exec")
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(script):
+    """Every `from repro...` import in the script must resolve."""
+    tree = ast.parse(script.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            mod = __import__(node.module, fromlist=[a.name for a in node.names])
+            for alias in node.names:
+                assert hasattr(mod, alias.name), (
+                    f"{script.name}: {node.module} has no {alias.name}"
+                )
+
+
+@pytest.mark.skipif(not RUN, reason="set REPRO_RUN_EXAMPLES=1 to execute examples")
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=1800
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]

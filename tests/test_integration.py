@@ -1,0 +1,98 @@
+"""Cross-cutting integration tests: the full pipeline end to end.
+
+Everything here runs at micro scale (seconds), exercising the exact code
+paths the benchmark harness uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FedKEMF
+from repro.experiments.runner import ExperimentRunner
+from repro.fl import FedAvg, FedNova, FedProx, FLConfig, Scaffold
+from repro.nn.models import build_model
+
+
+@pytest.fixture(scope="module")
+def runner(micro_scale):
+    return ExperimentRunner(micro_scale)
+
+
+class TestPairedComparisons:
+    def test_identical_client_schedule_across_algorithms(self, runner):
+        """Paired runs must sample the same clients each round — the property
+        that makes Table 1/2 deltas attributable to the algorithm."""
+        fed = runner.fed("cifar10", 4, alpha=0.5)
+        cfg = FLConfig(rounds=3, sample_ratio=0.5, local_epochs=1, batch_size=16, seed=0)
+        model_fn = runner.model_fn("mlp", "cifar10")
+        schedules = []
+        for cls in (FedAvg, FedProx, FedNova, Scaffold):
+            algo = cls(model_fn, fed, cfg)
+            schedules.append([algo.sampler.sample(r) for r in range(3)])
+        for s in schedules[1:]:
+            assert s == schedules[0]
+
+    def test_shared_data_views(self, runner):
+        """The runner hands every algorithm the same federation object."""
+        assert runner.fed("cifar10", 4, alpha=0.5) is runner.fed("cifar10", 4, alpha=0.5)
+
+
+class TestEndToEndFedKEMF:
+    def test_mnist_pipeline(self, runner):
+        h = runner.run("fedkemf", "cnn-2", dataset="mnist", setting="30")
+        assert h.num_rounds == runner.scale.mnist_rounds
+        assert np.isfinite(h.accuracies).all()
+
+    def test_knowledge_payload_counts_match_meter(self, runner):
+        """Meter totals must equal rounds × selected × 2 × payload exactly."""
+        fed = runner.fed("cifar10", 4, alpha=0.5)
+        cfg = FLConfig(rounds=2, sample_ratio=0.5, local_epochs=1, batch_size=16, seed=0)
+        kfn = runner.knowledge_fn("cifar10")
+        algo = FedKEMF(kfn, fed, cfg, local_model_fns=runner.model_fn("resnet-32", "cifar10"))
+        h = algo.run()
+        from repro.nn.serialization import dumps_state_dict
+
+        payload = len(dumps_state_dict(kfn().state_dict()))
+        selected_total = sum(r.num_selected for r in h.records)
+        assert h.total_bytes == 2 * payload * selected_total
+
+    def test_multi_model_heterogeneous_pipeline(self, runner):
+        h = runner.run_multi_model("fedkemf", setting="30", sample_ratio=1.0)
+        assert len(h.meta["multi_model"]) >= 1
+        local = h.local_accuracies
+        assert np.isfinite(local[-1])
+
+
+class TestScaleInvariance:
+    """Structural claims must hold at any scale — these mirror the bench
+    assertions at micro scale so plain `pytest tests/` exercises them."""
+
+    def test_fedkemf_cost_model_independent(self, runner):
+        h20 = runner.run("fedkemf", "resnet-20", setting="30")
+        h32 = runner.run("fedkemf", "resnet-32", setting="30")
+        assert h20.total_bytes == h32.total_bytes
+
+    def test_baseline_cost_model_dependent(self, runner):
+        h20 = runner.run("fedavg", "resnet-20", setting="30")
+        h32 = runner.run("fedavg", "resnet-32", setting="30")
+        assert h32.total_bytes > h20.total_bytes
+
+    def test_fednova_double_cost(self, runner):
+        avg = runner.run("fedavg", "resnet-20", setting="30")
+        nova = runner.run("fednova", "resnet-20", setting="30")
+        ratio = nova.round_cost_per_client_mb() / avg.round_cost_per_client_mb()
+        assert 1.7 < ratio < 2.2
+
+    def test_scaffold_double_cost(self, runner):
+        avg = runner.run("fedavg", "resnet-20", setting="30")
+        scaf = runner.run("scaffold", "resnet-20", setting="30")
+        ratio = scaf.round_cost_per_client_mb() / avg.round_cost_per_client_mb()
+        assert 1.8 < ratio < 2.2
+
+
+class TestDeterminismAcrossRunners:
+    def test_fresh_runner_reproduces(self, micro_scale):
+        a = ExperimentRunner(micro_scale).run("fedavg", "mlp", setting="30")
+        b = ExperimentRunner(micro_scale).run("fedavg", "mlp", setting="30")
+        np.testing.assert_allclose(a.accuracies, b.accuracies)
+        assert a.total_bytes == b.total_bytes
