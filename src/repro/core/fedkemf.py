@@ -12,12 +12,15 @@ Per round:
    (``FLConfig.fusion``).
 
 Local models never leave the device — they are both the privacy boundary and
-the deployment artifact (Table 3 evaluates them on local test shards).
+the deployment artifact (Table 3 evaluates them on local test shards). Under
+the execution runtime they are persistent on-device state: a (possibly
+forked) worker trains its client's model and ships the weights back through
+``ClientUpdate.local_state`` for the parent to write back.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.core.distill import DistillConfig
 from repro.core.fusion import fuse_ensemble_distill, fuse_weight_average
@@ -25,6 +28,8 @@ from repro.core.mutual import DeepMutualTrainer
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
 from repro.nn.module import Module
+from repro.runtime.executors import ClientUpdate
+from repro.runtime.runtime import FLRuntime
 
 __all__ = ["FedKEMF"]
 
@@ -46,6 +51,9 @@ class FedKEMF(FLAlgorithm):
         Per-client constructors for the resource-matched local models. A
         single callable is broadcast to all clients (homogeneous deployment,
         as in Figure 4); a list enables the multi-model setting of Table 3.
+    runtime:
+        Execution runtime override (executor/faults/deadline), forwarded to
+        :class:`~repro.fl.algorithms.base.FLAlgorithm`.
     """
 
     name = "FedKEMF"
@@ -56,6 +64,7 @@ class FedKEMF(FLAlgorithm):
         fed: FederatedDataset,
         config: FLConfig,
         local_model_fns: "Sequence[ModelFn] | ModelFn | None" = None,
+        runtime: "FLRuntime | None" = None,
     ) -> None:
         if local_model_fns is None:
             local_model_fns = model_fn
@@ -67,7 +76,7 @@ class FedKEMF(FLAlgorithm):
                 f"({fed.num_clients}); got {len(local_model_fns)}"
             )
         self._local_model_fns = list(local_model_fns)
-        super().__init__(model_fn, fed, config)
+        super().__init__(model_fn, fed, config, runtime=runtime)
 
     def setup(self) -> None:
         if self.cfg.fusion not in ("ensemble-distill", "weight-average"):
@@ -95,26 +104,34 @@ class FedKEMF(FLAlgorithm):
         )
         self.last_distill_loss: float | None = None
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state = self.global_model.state_dict(copy=False)
-        client_states = []
-        weights = []
-        for cid in selected:
-            # Client downloads θ_g (tiny payload) into its working copy.
-            local_knowledge_state = self.channel.download(cid, global_state)
-            self._scratch.load_state_dict(local_knowledge_state)
-            # Alg. 1: deep mutual learning of (θ, θ_g) on the local shard.
-            self.mutual_trainers[cid].train(
-                self.local_models[cid],
-                self._scratch,
-                epochs=self.cfg.local_epochs,
-                round_idx=round_idx,
-            )
-            # Client uploads the updated knowledge network θ_g^k.
-            uploaded = self.channel.upload(cid, self._scratch.state_dict(copy=False))
-            client_states.append(uploaded)
-            weights.append(float(len(self.fed.client_train[cid])))
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        # Client loads θ_g (tiny payload) into its working copy.
+        self._scratch.load_state_dict(payload["state"])
+        # Alg. 1: deep mutual learning of (θ, θ_g) on the local shard.
+        stats = self.mutual_trainers[cid].train(
+            self.local_models[cid],
+            self._scratch,
+            epochs=self.cfg.local_epochs,
+            round_idx=round_idx,
+        )
+        # Uplink: the updated knowledge network θ_g^k; the mutually-trained
+        # local model θ stays on device (returned only for write-back).
+        return ClientUpdate(
+            client_id=cid,
+            states={"state": self._scratch.state_dict()},
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+            local_state=self.local_models[cid].state_dict(),
+        )
 
+    def apply_client_update(self, update: ClientUpdate) -> None:
+        # The device keeps its trained θ even if the server never sees θ_g^k.
+        self.local_models[update.client_id].load_state_dict(update.local_state)
+
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        client_states = [u.received["state"] for u in updates]
+        weights = [u.weight for u in updates]
         if self.cfg.fusion == "weight-average":
             fuse_weight_average(self.global_model, client_states, weights)
         else:
@@ -128,6 +145,11 @@ class FedKEMF(FLAlgorithm):
                 distill_config=self._distill_config,
                 init_from_average=self.cfg.distill_init_from_average,
             )
+
+    def client_compute_model(self, cid: int) -> Module:
+        # DML trains θ and θ_g together; the resource-matched local model
+        # dominates the client's FLOPs and drives the virtual clock.
+        return self.local_models[cid]
 
     def local_models_for_eval(self) -> "list[Module]":
         return self.local_models

@@ -14,6 +14,7 @@ The active scale comes from ``REPRO_SCALE`` (smoke/small/paper) or
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -47,6 +48,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=pathlib.Path, default=None, help="also write artifacts here")
+    rt = p.add_argument_group("execution runtime")
+    rt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-parallel client execution (0/1 = serial; default: $REPRO_WORKERS)",
+    )
+    rt.add_argument(
+        "--faults",
+        default=None,
+        help="fault injection spec, e.g. 'dropout=0.3,loss=0.1,slowdown=4' "
+        "(default: $REPRO_FAULTS)",
+    )
+    rt.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="virtual-clock round deadline in seconds (default: $REPRO_DEADLINE)",
+    )
     return p
 
 
@@ -107,6 +127,14 @@ def main(argv: "list[str] | None" = None) -> int:
         print("scales: smoke (default), small, paper — set with --scale or $REPRO_SCALE")
         return 0
     scale = get_scale(args.scale)
+    # Runtime flags travel via the environment so every run the tables/
+    # figures spawn (repro.experiments.configs.runtime_defaults) sees them.
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.faults is not None:
+        os.environ["REPRO_FAULTS"] = args.faults
+    if args.deadline is not None:
+        os.environ["REPRO_DEADLINE"] = str(args.deadline)
     print(f"[scale={scale.name}: image {scale.image_size}px, rounds {scale.rounds}, "
           f"clients {scale.clients}]\n")
     runner = ExperimentRunner(scale)

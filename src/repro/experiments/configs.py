@@ -21,7 +21,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-__all__ = ["Scale", "SCALES", "get_scale", "ClientSetting", "CLIENT_SETTINGS", "scaled_clients", "scaled_target"]
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "ClientSetting",
+    "CLIENT_SETTINGS",
+    "scaled_clients",
+    "scaled_target",
+    "runtime_defaults",
+]
 
 
 @dataclass(frozen=True)
@@ -152,3 +161,26 @@ def scaled_clients(setting_key: str, scale: Scale | None = None) -> int:
 def scaled_target(setting_key: str, scale: Scale | None = None) -> float:
     """Target accuracy for a paper setting at the active scale."""
     return (scale or get_scale()).target_for(setting_key)
+
+
+def runtime_defaults() -> dict:
+    """Execution-runtime config overrides from the environment.
+
+    ``REPRO_WORKERS`` (int), ``REPRO_FAULTS`` (fault spec string, e.g.
+    ``"dropout=0.3,loss=0.1"``) and ``REPRO_DEADLINE`` (float seconds) map
+    onto :class:`repro.fl.algorithms.FLConfig`'s ``workers`` / ``faults`` /
+    ``deadline`` fields. The CLI's ``--workers/--faults/--deadline`` flags
+    set these variables so one invocation configures every run it spawns.
+    Unset variables are omitted, leaving the config defaults in force.
+    """
+    out: dict = {}
+    workers = os.environ.get("REPRO_WORKERS")
+    if workers:
+        out["workers"] = int(workers)
+    faults = os.environ.get("REPRO_FAULTS")
+    if faults:
+        out["faults"] = faults
+    deadline = os.environ.get("REPRO_DEADLINE")
+    if deadline:
+        out["deadline"] = float(deadline)
+    return out

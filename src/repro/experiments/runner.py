@@ -14,7 +14,7 @@ from typing import Callable
 from repro.core import FedKEMF, local_model_builders, plan_multi_model
 from repro.data.federated import FederatedDataset, build_federated_dataset
 from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
-from repro.experiments.configs import CLIENT_SETTINGS, Scale, get_scale
+from repro.experiments.configs import CLIENT_SETTINGS, Scale, get_scale, runtime_defaults
 from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
 from repro.fl.history import RunHistory
 from repro.nn.models import KNOWLEDGE_DEFAULTS, build_model
@@ -180,6 +180,9 @@ class ExperimentRunner:
         alpha = alpha if alpha is not None else self.scale.alpha
         if rounds is None:
             rounds = self.scale.mnist_rounds if dataset.lower() == "mnist" else self.scale.rounds
+        # Environment-level runtime settings (workers/faults/deadline) join
+        # the overrides so they both reach the config and key the cache.
+        overrides = {**runtime_defaults(), **overrides}
         key = RunKey.make(method, model, dataset, setting, sample_ratio, alpha, rounds, seed, **overrides)
         if key in self._runs:
             return self._runs[key]
@@ -235,6 +238,7 @@ class ExperimentRunner:
         """
         alpha = alpha if alpha is not None else self.scale.alpha
         rounds = rounds if rounds is not None else self.scale.rounds
+        overrides = {**runtime_defaults(), **overrides}
         key = RunKey.make(
             method, "multi" if method.lower() == "fedkemf" else "resnet-20",
             dataset, setting, sample_ratio, alpha, rounds, seed,

@@ -1,15 +1,33 @@
 """FL algorithm base class: config, round loop, evaluation and recording.
 
-Subclasses implement :meth:`FLAlgorithm.round` (one communication round over
-the selected clients) and optionally override which model is evaluated
-globally / locally. Everything else — sampling, metering, history — is
-shared, so paired comparisons differ only in the algorithm itself.
+The round loop runs through the federated execution runtime
+(:mod:`repro.runtime`): per-client work is *submitted* to a pluggable
+executor (serial or process-parallel) instead of looped inline, seeded
+fault injection can drop clients, slow stragglers and lose uplink
+messages, and a virtual-clock deadline policy decides which survivors the
+server aggregates.
+
+Subclasses implement the three per-round hooks —
+
+- :meth:`FLAlgorithm.client_payload` (parent-side: what goes down the wire),
+- :meth:`FLAlgorithm.client_work` (client-side: train, return a
+  :class:`~repro.runtime.executors.ClientUpdate`; may run in a worker
+  process, so it must not mutate algorithm state it expects to keep),
+- :meth:`FLAlgorithm.aggregate` (parent-side: fold accepted updates into
+  the global model)
+
+— and optionally :meth:`FLAlgorithm.apply_client_update` for persistent
+on-device state. Overriding :meth:`FLAlgorithm.round` wholesale remains
+supported for custom algorithms (it then bypasses fault injection).
+Everything else — sampling, metering, history — is shared, so paired
+comparisons differ only in the algorithm itself.
 """
 
 from __future__ import annotations
 
+import functools
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.data.federated import FederatedDataset
@@ -19,6 +37,10 @@ from repro.fl.metrics import average_local_accuracy, evaluate_model
 from repro.fl.sampler import ClientSampler
 from repro.fl.trainer import LocalTrainer
 from repro.nn.module import Module
+from repro.nn.serialization import state_dict_num_bytes
+from repro.runtime.executors import ClientUpdate
+from repro.runtime.faults import parse_fault_spec
+from repro.runtime.runtime import FLRuntime, RoundOutcome
 from repro.utils.logging import get_logger
 from repro.utils.registry import Registry
 
@@ -61,6 +83,11 @@ class FLConfig:
     ensemble: str = "max"  # max | mean | vote (paper §Ensemble Knowledge)
     fusion: str = "ensemble-distill"  # or "weight-average"
     compression: str | None = None  # wire codec: fp16 | q8 | q4 (extension)
+    # execution runtime (repro.runtime)
+    workers: int = 0  # 0/1 = serial; >= 2 = process-parallel client execution
+    faults: str | None = None  # fault spec, e.g. "dropout=0.3,loss=0.1,slowdown=4"
+    deadline: float | None = None  # virtual-clock round deadline (seconds)
+    over_provision: bool = True  # sample ceil(K/(1-dropout)) when dropout > 0
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -77,6 +104,11 @@ class FLConfig:
             raise ValueError(f"kl_weight must be non-negative; got {self.kl_weight}")
         if self.prox_mu < 0:
             raise ValueError(f"prox_mu must be non-negative; got {self.prox_mu}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0; got {self.workers}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive; got {self.deadline}")
+        parse_fault_spec(self.faults)  # raises on a malformed spec string
 
     def with_overrides(self, **kwargs) -> "FLConfig":
         """Functional update (configs are frozen; revalidates)."""
@@ -94,11 +126,21 @@ class FLAlgorithm:
         The federated data views.
     config:
         Shared hyperparameters.
+    runtime:
+        Execution runtime (executor + faults + straggler policy). Defaults
+        to the one ``config`` describes — which, with no workers/faults/
+        deadline configured, is plain serial full-participation execution.
     """
 
     name = "base"
 
-    def __init__(self, model_fn: ModelFn, fed: FederatedDataset, config: FLConfig) -> None:
+    def __init__(
+        self,
+        model_fn: ModelFn,
+        fed: FederatedDataset,
+        config: FLConfig,
+        runtime: "FLRuntime | None" = None,
+    ) -> None:
         fed.validate()
         self.model_fn = model_fn
         self.fed = fed
@@ -108,6 +150,7 @@ class FLAlgorithm:
         self.meter = CommMeter()
         self.channel = Channel(self.meter, codec=make_codec(config.compression))
         self.sampler = ClientSampler(fed.num_clients, config.sample_ratio, config.seed)
+        self.runtime = runtime if runtime is not None else FLRuntime.from_config(config, fed)
         self.global_model = model_fn()
         # One reusable scratch model per algorithm run: each client loads
         # its state into it, trains, uploads — avoids N re-constructions.
@@ -123,6 +166,7 @@ class FLAlgorithm:
             )
             for i, ds in enumerate(fed.client_train)
         ]
+        self._last_outcome: "RoundOutcome | None" = None
         self.setup()
 
     # hooks ------------------------------------------------------------- #
@@ -130,9 +174,55 @@ class FLAlgorithm:
     def setup(self) -> None:
         """Algorithm-specific state initialization (control variates, ...)."""
 
-    def round(self, round_idx: int, selected: list[int]) -> None:  # pragma: no cover
-        """Run one communication round over ``selected`` clients."""
+    def client_payload(self, round_idx: int, cid: int) -> dict:
+        """Parent-side: build (and meter) one client's downlink payload.
+
+        Whatever crosses the wire must go through ``self.channel`` here so
+        the byte ledger stays exact; device-local inputs (e.g. SCAFFOLD's
+        client control) may be added unmetered. The returned mapping is
+        handed to :meth:`client_work`, possibly in a worker process, so it
+        must be picklable.
+        """
+        state = self.channel.download(cid, self.global_model.state_dict(copy=False))
+        return {"state": state}
+
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        """One client's local pass; default is plain local SGD (FedAvg).
+
+        May execute in a forked worker: it sees a round-start snapshot of
+        the algorithm and must return everything it changed inside the
+        :class:`ClientUpdate` (in-place mutations are lost under the
+        parallel executor).
+        """
+        self._scratch.load_state_dict(payload["state"])
+        stats = self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+        return ClientUpdate(
+            client_id=cid,
+            states={"state": self._scratch.state_dict()},
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+        )
+
+    def apply_client_update(self, update: ClientUpdate) -> None:
+        """Parent-side write-back of persistent per-client state.
+
+        Runs for every *trained* client (even ones that later fail the
+        uplink or deadline — their on-device state advanced regardless of
+        what the server saw). Default: nothing to write back.
+        """
+
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        """Fold the accepted clients' wire-decoded updates into the server
+        state. ``updates`` arrive sorted by client id; each carries its
+        channel-decoded payloads in ``update.received``."""
         raise NotImplementedError
+
+    def client_compute_model(self, cid: int) -> Module:
+        """The model whose FLOPs dominate this client's local pass (drives
+        the virtual clock). Baselines train the communicated model;
+        FedKEMF overrides this with the on-device local model."""
+        return self.global_model
 
     def evaluation_model(self) -> Module:
         """The model scored on the global test set each round."""
@@ -146,7 +236,117 @@ class FLAlgorithm:
         """
         return None
 
+    # round pipeline ---------------------------------------------------- #
+
+    def round(self, round_idx: int, selected: list[int]) -> None:
+        """One communication round through the execution runtime.
+
+        Pipeline: fault decisions → downlink broadcast (dropped clients
+        never receive it) → executor fan-out of :meth:`client_work` →
+        per-client write-back → metered uplink with bounded retransmission
+        → virtual-clock deadline / first-K acceptance → :meth:`aggregate`
+        over the survivors.
+        """
+        rt = self.runtime
+        decisions = {cid: rt.decide(round_idx, cid) for cid in selected}
+        failures: dict[int, str] = {
+            cid: "dropout" for cid in selected if decisions[cid].dropped
+        }
+        active = [cid for cid in selected if cid not in failures]
+        tasks = [(cid, self.client_payload(round_idx, cid)) for cid in active]
+        work = functools.partial(self.client_work, round_idx)
+        updates = rt.executor.run_round(work, tasks)
+        for update in updates:
+            self.apply_client_update(update)
+
+        # Uplink with retransmission accounting + virtual completion times.
+        times: dict[int, float] = {}
+        survivors: "list[ClientUpdate]" = []
+        for update in updates:
+            cid = update.client_id
+            faults = decisions[cid]
+            attempts = faults.uplink_attempts
+            transmissions = (
+                attempts if attempts is not None else rt.plan.spec.max_retries + 1
+            )
+            received = {
+                name: self.channel.upload(
+                    cid, state, payload_multiplier=float(transmissions)
+                )
+                for name, state in update.states.items()
+            }
+            if rt.clock is not None:
+                # Wire estimate: uplink payload bytes, doubled for the
+                # symmetric downlink broadcast.
+                payload_bytes = 2 * sum(
+                    state_dict_num_bytes(s) for s in update.states.values()
+                )
+                times[cid] = rt.clock.client_time(
+                    cid,
+                    self.client_compute_model(cid),
+                    update.steps,
+                    payload_bytes,
+                    slowdown=faults.slowdown,
+                    extra_delay_s=rt.retry_delay_s(faults),
+                )
+            if attempts is None:
+                failures[cid] = "uplink-lost"  # bandwidth burnt, nothing arrived
+                continue
+            update.received = received
+            survivors.append(update)
+
+        # Straggler policy: reject deadline misses, accept the first K by
+        # virtual finish time (over-provisioned sampling provides slack),
+        # then restore client-id order so aggregation is order-stable.
+        accepted = survivors
+        if rt.clock is not None:
+            target_k = self.sampler.per_round
+            accepted = []
+            for update in sorted(
+                survivors, key=lambda u: (times[u.client_id], u.client_id)
+            ):
+                cid = update.client_id
+                if rt.deadline_s is not None and times[cid] > rt.deadline_s:
+                    failures[cid] = "deadline"
+                elif len(accepted) >= target_k:
+                    failures[cid] = "surplus"
+                else:
+                    accepted.append(update)
+            accepted.sort(key=lambda u: u.client_id)
+
+        if accepted:
+            self.aggregate(round_idx, accepted)
+        else:
+            log.warning(
+                "%s round %d: no surviving clients (%s); server state unchanged",
+                self.name,
+                round_idx + 1,
+                {cid: r for cid, r in failures.items()},
+            )
+
+        sim_time = 0.0
+        if times:
+            if any(reason == "deadline" for reason in failures.values()):
+                sim_time = float(rt.deadline_s)  # server waited out the deadline
+            elif accepted:
+                sim_time = max(times[u.client_id] for u in accepted)
+            else:
+                sim_time = max(times.values())
+        self._last_outcome = RoundOutcome(
+            round_idx=round_idx,
+            sampled=list(selected),
+            trained=active,
+            aggregated=[u.client_id for u in accepted],
+            failures=failures,
+            sim_time_s=sim_time,
+        )
+
     # driver ------------------------------------------------------------ #
+
+    def select_clients(self, round_idx: int) -> list[int]:
+        """Sample this round's participants (over-provisioned under dropout)."""
+        n = self.runtime.provision(self.sampler.per_round, self.fed.num_clients)
+        return self.sampler.sample_n(round_idx, n)
 
     def run(self, rounds: int | None = None) -> RunHistory:
         """Execute the round loop and return the measured history."""
@@ -157,11 +357,19 @@ class FLAlgorithm:
             num_clients=self.fed.num_clients,
             sample_ratio=self.cfg.sample_ratio,
         )
+        history.meta["runtime"] = {
+            "executor": type(self.runtime.executor).__name__,
+            "workers": self.runtime.executor.workers,
+            "faults": self.cfg.faults,
+            "deadline": self.cfg.deadline,
+        }
         for t in range(rounds):
             start = time.perf_counter()
             self.meter.begin_round(t)
-            selected = self.sampler.sample(t)
+            selected = self.select_clients(t)
+            self._last_outcome = None
             self.round(t, selected)
+            outcome = self._last_outcome
             acc, loss = evaluate_model(
                 self.evaluation_model(), self.fed.server_test, self.cfg.eval_batch_size
             )
@@ -173,6 +381,7 @@ class FLAlgorithm:
                 local_acc = average_local_accuracy(
                     models, self.fed.client_test, self.cfg.eval_batch_size
                 )
+            participated = len(outcome.aggregated) if outcome is not None else len(selected)
             history.append(
                 RoundRecord(
                     round_idx=t + 1,
@@ -180,18 +389,24 @@ class FLAlgorithm:
                     loss=loss,
                     cum_bytes=self.meter.total,
                     round_bytes=self.meter.round_bytes[t],
-                    num_selected=len(selected),
+                    num_selected=participated,
                     local_accuracy=local_acc,
                     wall_time=time.perf_counter() - start,
+                    num_sampled=len(selected),
+                    num_failed=len(outcome.failures) if outcome is not None else 0,
+                    failures=dict(outcome.failures) if outcome is not None else {},
+                    sim_time_s=outcome.sim_time_s if outcome is not None else 0.0,
                 )
             )
             log.info(
-                "%s round %d/%d acc=%.4f loss=%.4f bytes=%.2fMB",
+                "%s round %d/%d acc=%.4f loss=%.4f bytes=%.2fMB participants=%d/%d",
                 self.name,
                 t + 1,
                 rounds,
                 acc,
                 loss,
                 self.meter.total / 1e6,
+                participated,
+                len(selected),
             )
         return history

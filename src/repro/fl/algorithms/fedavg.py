@@ -4,12 +4,17 @@ Each round: broadcast global weights to the sampled clients, run E local
 epochs of SGD, and aggregate the returned weights by a sample-count-weighted
 average (BatchNorm running statistics are averaged alongside, the standard
 convention).
+
+The client side *is* the framework default (:meth:`FLAlgorithm.client_work`:
+plain local SGD on the downloaded weights, submitted to the execution
+runtime), so FedAvg only supplies the server-side aggregation.
 """
 
 from __future__ import annotations
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.serialization import average_states
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedAvg"]
 
@@ -19,16 +24,9 @@ class FedAvg(FLAlgorithm):
 
     name = "FedAvg"
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state = self.global_model.state_dict(copy=False)
-        states, weights = [], []
-        for cid in selected:
-            local_state = self.channel.download(cid, global_state)
-            self._scratch.load_state_dict(local_state)
-            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
-            uploaded = self.channel.upload(cid, self._scratch.state_dict(copy=False))
-            states.append(uploaded)
-            weights.append(float(len(self.fed.client_train[cid])))
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        states = [u.received["state"] for u in updates]
+        weights = [u.weight for u in updates]
         self.global_model.load_state_dict(average_states(states, weights))
 
 

@@ -9,6 +9,9 @@ teachers.
 FedKEMF differs by (a) communicating only the tiny knowledge network and
 (b) extracting client knowledge through deep mutual learning rather than
 training the communicated model directly.
+
+The client pass is the framework default (plain local SGD through the
+execution runtime); FedDF only replaces the server's aggregation.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 from repro.core.distill import DistillConfig
 from repro.core.fusion import fuse_ensemble_distill
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedDF"]
 
@@ -34,16 +38,9 @@ class FedDF(FLAlgorithm):
             seed=self.cfg.seed,
         )
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state = self.global_model.state_dict(copy=False)
-        states, weights = [], []
-        for cid in selected:
-            local_state = self.channel.download(cid, global_state)
-            self._scratch.load_state_dict(local_state)
-            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
-            uploaded = self.channel.upload(cid, self._scratch.state_dict(copy=False))
-            states.append(uploaded)
-            weights.append(float(len(self.fed.client_train[cid])))
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        states = [u.received["state"] for u in updates]
+        weights = [u.weight for u in updates]
         # FedDF's convention is average-logit teachers; honour the config
         # only if the caller explicitly changed it.
         strategy = "mean" if self.cfg.ensemble == "max" else self.cfg.ensemble

@@ -13,6 +13,11 @@ Only (N_public × classes) floats cross the wire — even less than FedKEMF's
 knowledge network — but there is no global *model*: the server's artifact
 is the consensus table, and system accuracy is the committee of client
 models (evaluated here through :class:`repro.core.ensemble.EnsembleModule`).
+
+Client models are persistent on-device state: the trained weights return to
+the parent through ``ClientUpdate.local_state`` and are written back in
+:meth:`FedMD.apply_client_update`, so the digest+revisit pass can run in a
+forked worker without losing the model.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from repro.core.ensemble import EnsembleModule, member_logits
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
 from repro.nn.module import Module
+from repro.runtime.executors import ClientUpdate
+from repro.runtime.runtime import FLRuntime
 
 __all__ = ["FedMD"]
 
@@ -47,6 +54,7 @@ class FedMD(FLAlgorithm):
         fed: FederatedDataset,
         config: FLConfig,
         local_model_fns: "Sequence[ModelFn] | ModelFn | None" = None,
+        runtime: "FLRuntime | None" = None,
     ) -> None:
         if local_model_fns is None:
             local_model_fns = model_fn
@@ -57,7 +65,7 @@ class FedMD(FLAlgorithm):
                 f"need one builder per client ({fed.num_clients}); got {len(local_model_fns)}"
             )
         self._local_model_fns = list(local_model_fns)
-        super().__init__(model_fn, fed, config)
+        super().__init__(model_fn, fed, config, runtime=runtime)
 
     def setup(self) -> None:
         self.client_models: list[Module] = [fn() for fn in self._local_model_fns]
@@ -74,28 +82,39 @@ class FedMD(FLAlgorithm):
         # consensus starts uninformative (zeros = uniform distribution)
         self.consensus = np.zeros((len(x), num_classes), dtype=np.float32)
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        uploads = []
-        for cid in selected:
-            model = self.client_models[cid]
-            # download consensus scores (the only downlink payload)
-            consensus = self.channel.download(
-                cid, OrderedDict(scores=self.consensus)
-            )["scores"]
-            if round_idx > 0:  # round 0 has no information to digest
-                distill_from_teacher_logits(
-                    model, consensus, self._public_x, self._digest_config
-                )
-            # revisit: a few epochs on the private shard
-            self.trainers[cid].train(model, self.cfg.local_epochs, round_idx)
-            # upload own public-set scores
-            scores = member_logits(model, self._public_x, self._digest_config.batch_size)
-            uploads.append(
-                self.channel.upload(cid, OrderedDict(scores=scores.astype(np.float32)))[
-                    "scores"
-                ]
+    def client_payload(self, round_idx: int, cid: int) -> dict:
+        # consensus scores are the only downlink payload
+        consensus = self.channel.download(cid, OrderedDict(scores=self.consensus))
+        return {"consensus": consensus["scores"]}
+
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        model = self.client_models[cid]
+        if round_idx > 0:  # round 0 has no information to digest
+            distill_from_teacher_logits(
+                model, payload["consensus"], self._public_x, self._digest_config
             )
+        # revisit: a few epochs on the private shard
+        stats = self.trainers[cid].train(model, self.cfg.local_epochs, round_idx)
+        # upload own public-set scores
+        scores = member_logits(model, self._public_x, self._digest_config.batch_size)
+        return ClientUpdate(
+            client_id=cid,
+            states={"scores": OrderedDict(scores=scores.astype(np.float32))},
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+            local_state=model.state_dict(),
+        )
+
+    def apply_client_update(self, update: ClientUpdate) -> None:
+        self.client_models[update.client_id].load_state_dict(update.local_state)
+
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        uploads = [u.received["scores"]["scores"] for u in updates]
         self.consensus = np.mean(uploads, axis=0).astype(np.float32)
+
+    def client_compute_model(self, cid: int) -> Module:
+        return self.client_models[cid]
 
     def evaluation_model(self) -> Module:
         """System accuracy = the committee of all client models."""

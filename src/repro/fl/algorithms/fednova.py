@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.serialization import average_states
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedNova"]
 
@@ -30,39 +31,50 @@ class FedNova(FLAlgorithm):
 
     name = "FedNova"
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state = self.global_model.state_dict()  # copy: the anchor x
+    def client_payload(self, round_idx: int, cid: int) -> dict:
+        state = self.channel.download(
+            cid, self.global_model.state_dict(copy=False), payload_multiplier=2.0
+        )
+        return {"state": state}
+
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        self._scratch.load_state_dict(payload["state"])
+        stats = self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+        tau = max(stats.steps, 1)
+        y_state = self._scratch.state_dict()
+        # normalized update over *parameters* (buffers are averaged) against
+        # the round-start anchor x; cast to fp32 on the wire like every
+        # other payload
+        anchor = self.global_model.state_dict(copy=False)
+        param_names = {name for name, _ in self.global_model.named_parameters()}
+        d = OrderedDict(
+            (
+                k,
+                (
+                    (np.asarray(anchor[k], dtype=np.float64) - y_state[k]) / tau
+                ).astype(np.float32),
+            )
+            for k in y_state
+            if k in param_names
+        )
+        # Two real payloads cross the uplink: weights + normalized grads.
+        return ClientUpdate(
+            client_id=cid,
+            states={"state": y_state, "delta": d},
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+            extra={"tau": float(tau)},
+        )
+
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
+        global_state = self.global_model.state_dict()
         param_names = {name for name, _ in self.global_model.named_parameters()}
 
-        deltas: list[OrderedDict] = []
-        uploaded_states = []
-        taus: list[float] = []
-        weights: list[float] = []
-        for cid in selected:
-            local_state = self.channel.download(cid, global_state, payload_multiplier=2.0)
-            self._scratch.load_state_dict(local_state)
-            stats = self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
-            tau = max(stats.steps, 1)
-            y_state = self._scratch.state_dict(copy=False)
-            # normalized update over *parameters* (buffers are averaged);
-            # cast to fp32 on the wire like every other payload
-            d = OrderedDict(
-                (
-                    k,
-                    (
-                        (np.asarray(global_state[k], dtype=np.float64) - y_state[k]) / tau
-                    ).astype(np.float32),
-                )
-                for k in y_state
-                if k in param_names
-            )
-            # Two real payloads cross the uplink: weights + normalized grads.
-            up_weights = self.channel.upload(cid, y_state)
-            d = self.channel.upload(cid, d)
-            deltas.append(d)
-            uploaded_states.append(up_weights)
-            taus.append(float(tau))
-            weights.append(float(len(self.fed.client_train[cid])))
+        weights = [u.weight for u in updates]
+        taus = [u.extra["tau"] for u in updates]
+        deltas = [u.received["delta"] for u in updates]
+        uploaded_states = [u.received["state"] for u in updates]
 
         total_w = sum(weights)
         p = [w / total_w for w in weights]

@@ -12,6 +12,10 @@ into the same communication accounting; they are the standard stabilized
 baselines a practitioner would try before distillation methods.
 BatchNorm buffers are averaged directly (they are statistics, not
 gradient-like quantities).
+
+The client pass is the framework default (plain local SGD via the execution
+runtime); only the server step differs, so each variant implements
+:meth:`_server_step` and shares the :meth:`aggregate` plumbing.
 """
 
 from __future__ import annotations
@@ -22,22 +26,18 @@ import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.serialization import average_states
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedAvgM", "FedAdam"]
 
 
 class _FedOptBase(FLAlgorithm):
-    """Shared client loop: local SGD, upload weights, form Δ."""
+    """Shared server plumbing: form Δ from averaged uploads, apply a step."""
 
-    def _client_pass(self, round_idx: int, selected: list[int]):
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         global_state = self.global_model.state_dict()
-        states, weights = [], []
-        for cid in selected:
-            local_state = self.channel.download(cid, global_state)
-            self._scratch.load_state_dict(local_state)
-            self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
-            states.append(self.channel.upload(cid, self._scratch.state_dict(copy=False)))
-            weights.append(float(len(self.fed.client_train[cid])))
+        states = [u.received["state"] for u in updates]
+        weights = [u.weight for u in updates]
         avg = average_states(states, weights)
         param_names = {name for name, _ in self.global_model.named_parameters()}
         delta = OrderedDict(
@@ -45,9 +45,7 @@ class _FedOptBase(FLAlgorithm):
             for k in avg
             if k in param_names
         )
-        return global_state, avg, delta, param_names
-
-    def _apply(self, global_state, avg, param_names, step: OrderedDict) -> None:
+        step = self._server_step(delta)
         new_state = OrderedDict()
         for k in avg:
             if k in param_names:
@@ -56,6 +54,9 @@ class _FedOptBase(FLAlgorithm):
             else:  # buffers: plain average
                 new_state[k] = avg[k]
         self.global_model.load_state_dict(new_state)
+
+    def _server_step(self, delta: OrderedDict) -> OrderedDict:
+        raise NotImplementedError
 
 
 class FedAvgM(_FedOptBase):
@@ -67,15 +68,14 @@ class FedAvgM(_FedOptBase):
     def setup(self) -> None:
         self._velocity: OrderedDict | None = None
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state, avg, delta, param_names = self._client_pass(round_idx, selected)
+    def _server_step(self, delta: OrderedDict) -> OrderedDict:
         if self._velocity is None:
             self._velocity = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
         step = OrderedDict()
         for k, d in delta.items():
             self._velocity[k] = self.beta * self._velocity[k] + d
             step[k] = self.cfg.server_lr * self._velocity[k]
-        self._apply(global_state, avg, param_names, step)
+        return step
 
 
 class FedAdam(_FedOptBase):
@@ -91,8 +91,7 @@ class FedAdam(_FedOptBase):
         self._v: OrderedDict | None = None
         self._t = 0
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state, avg, delta, param_names = self._client_pass(round_idx, selected)
+    def _server_step(self, delta: OrderedDict) -> OrderedDict:
         if self._m is None:
             self._m = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
             self._v = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
@@ -106,7 +105,7 @@ class FedAdam(_FedOptBase):
             step[k] = (
                 self.cfg.server_lr * (self._m[k] / bc1) / (np.sqrt(self._v[k] / bc2) + self.eps)
             )
-        self._apply(global_state, avg, param_names, step)
+        return step
 
 
 ALGORITHM_REGISTRY.add("fedavgm", FedAvgM)

@@ -8,41 +8,43 @@ the term to the loss, and free of extra graph nodes.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.fl.algorithms.base import ALGORITHM_REGISTRY
+from repro.fl.algorithms.fedavg import FedAvg
 from repro.nn.module import Module
-from repro.nn.serialization import average_states
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedProx"]
 
 
-class FedProx(FLAlgorithm):
-    """FedAvg with a client-side proximal regularizer (strength ``prox_mu``)."""
+class FedProx(FedAvg):
+    """FedAvg with a client-side proximal regularizer (strength ``prox_mu``).
+
+    Server aggregation is inherited from FedAvg; only the local pass gains
+    the proximal gradient hook.
+    """
 
     name = "FedProx"
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
-        global_state = self.global_model.state_dict(copy=False)
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        self._scratch.load_state_dict(payload["state"])
         mu = self.cfg.prox_mu
-        states, weights = [], []
-        for cid in selected:
-            local_state = self.channel.download(cid, global_state)
-            self._scratch.load_state_dict(local_state)
-            anchor = [p.data.copy() for p in self._scratch.parameters()]
+        anchor = [p.data.copy() for p in self._scratch.parameters()]
 
-            def prox_hook(model: Module) -> None:
-                for p, a in zip(model.parameters(), anchor):
-                    if p.grad is not None:
-                        p.grad += mu * (p.data - a)
+        def prox_hook(model: Module) -> None:
+            for p, a in zip(model.parameters(), anchor):
+                if p.grad is not None:
+                    p.grad += mu * (p.data - a)
 
-            self.trainers[cid].train(
-                self._scratch, self.cfg.local_epochs, round_idx, grad_hook=prox_hook
-            )
-            uploaded = self.channel.upload(cid, self._scratch.state_dict(copy=False))
-            states.append(uploaded)
-            weights.append(float(len(self.fed.client_train[cid])))
-        self.global_model.load_state_dict(average_states(states, weights))
+        stats = self.trainers[cid].train(
+            self._scratch, self.cfg.local_epochs, round_idx, grad_hook=prox_hook
+        )
+        return ClientUpdate(
+            client_id=cid,
+            states={"state": self._scratch.state_dict()},
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+        )
 
 
 ALGORITHM_REGISTRY.add("fedprox", FedProx)

@@ -9,6 +9,11 @@ client drift under non-IID data. After τ local steps with learning rate η:
 
 Both directions genuinely carry two model-sized payloads (x with c down,
 yᵢ with Δcᵢ up), matching the paper's 2× Round/Client accounting.
+
+The client control ``cᵢ`` is device-local state: it rides into
+:meth:`client_work` inside the (unmetered) payload and its successor comes
+back through ``ClientUpdate.extra`` for the parent to write back — workers
+stay stateless under the parallel executor.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import numpy as np
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.module import Module
 from repro.nn.serialization import average_states
+from repro.runtime.executors import ClientUpdate
 
 __all__ = ["Scaffold"]
 
@@ -49,57 +55,75 @@ class Scaffold(FLAlgorithm):
             self.client_controls[cid] = _zeros_like_params(self.global_model)
         return self.client_controls[cid]
 
-    def round(self, round_idx: int, selected: list[int]) -> None:
+    def client_payload(self, round_idx: int, cid: int) -> dict:
+        # downlink: model weights AND the server control (two payloads,
+        # both fp32 on the wire); the client's own control is device-local
+        # and crosses no wire.
+        state = self.channel.download(cid, self.global_model.state_dict(copy=False))
+        c_server = self.channel.download(
+            cid,
+            OrderedDict((k, v.astype(np.float32)) for k, v in self.server_control.items()),
+        )
+        return {"state": state, "control": c_server, "client_control": self._control_for(cid)}
+
+    def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
+        global_state = self.global_model.state_dict(copy=False)  # round-start anchor x
+        param_names = [name for name, _ in self.global_model.named_parameters()]
+        self._scratch.load_state_dict(payload["state"])
+        c_server = payload["control"]
+        c_i = payload["client_control"]
+        correction = {
+            name: (c_server[name] - c_i[name]).astype(np.float32) for name in param_names
+        }
+
+        def control_hook(model: Module) -> None:
+            for name, p in model.named_parameters():
+                if p.grad is not None:
+                    p.grad += correction[name]
+
+        stats = self.trainers[cid].train(
+            self._scratch, self.cfg.local_epochs, round_idx, grad_hook=control_hook
+        )
+        tau = max(stats.steps, 1)
+        eta = self.trainers[cid].lr
+        y_state = self._scratch.state_dict()
+
+        new_c = OrderedDict()
+        delta_c = OrderedDict()
+        for name in param_names:
+            drift = (
+                np.asarray(global_state[name], dtype=np.float64) - y_state[name]
+            ) / (tau * eta)
+            new_c[name] = c_i[name] - c_server[name] + drift
+            delta_c[name] = new_c[name] - c_i[name]
+
+        # uplink: weights AND control delta (two payloads, fp32 wire); the
+        # updated client control goes back to the parent for write-back.
+        return ClientUpdate(
+            client_id=cid,
+            states={
+                "state": y_state,
+                "delta_control": OrderedDict(
+                    (k, v.astype(np.float32)) for k, v in delta_c.items()
+                ),
+            },
+            weight=float(len(self.fed.client_train[cid])),
+            steps=stats.steps,
+            stats=stats,
+            extra={"new_control": new_c},
+        )
+
+    def apply_client_update(self, update: ClientUpdate) -> None:
+        # The client updated its control locally whether or not the server
+        # ends up accepting (or even receiving) its upload.
+        self.client_controls[update.client_id] = update.extra["new_control"]
+
+    def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         global_state = self.global_model.state_dict()
         param_names = [name for name, _ in self.global_model.named_parameters()]
-
-        uploaded_states = []
-        delta_controls: list[OrderedDict] = []
-        weights: list[float] = []
-        for cid in selected:
-            # downlink: model weights AND the server control (two payloads,
-            # both fp32 on the wire)
-            local_state = self.channel.download(cid, global_state)
-            c_server = self.channel.download(
-                cid,
-                OrderedDict((k, v.astype(np.float32)) for k, v in self.server_control.items()),
-            )
-            self._scratch.load_state_dict(local_state)
-            c_i = self._control_for(cid)
-            correction = {
-                name: (c_server[name] - c_i[name]).astype(np.float32) for name in param_names
-            }
-
-            def control_hook(model: Module) -> None:
-                for name, p in model.named_parameters():
-                    if p.grad is not None:
-                        p.grad += correction[name]
-
-            stats = self.trainers[cid].train(
-                self._scratch, self.cfg.local_epochs, round_idx, grad_hook=control_hook
-            )
-            tau = max(stats.steps, 1)
-            eta = self.trainers[cid].lr
-            y_state = self._scratch.state_dict(copy=False)
-
-            new_c = OrderedDict()
-            delta_c = OrderedDict()
-            for name in param_names:
-                drift = (
-                    np.asarray(global_state[name], dtype=np.float64) - y_state[name]
-                ) / (tau * eta)
-                new_c[name] = c_i[name] - c_server[name] + drift
-                delta_c[name] = new_c[name] - c_i[name]
-            self.client_controls[cid] = new_c
-
-            # uplink: weights AND control delta (two payloads, fp32 wire)
-            uploaded_states.append(self.channel.upload(cid, y_state))
-            delta_controls.append(
-                self.channel.upload(
-                    cid, OrderedDict((k, v.astype(np.float32)) for k, v in delta_c.items())
-                )
-            )
-            weights.append(float(len(self.fed.client_train[cid])))
+        uploaded_states = [u.received["state"] for u in updates]
+        delta_controls = [u.received["delta_control"] for u in updates]
+        weights = [u.weight for u in updates]
 
         # Server model: x ← x + lr_g · weighted-mean(yᵢ − x); buffers averaged.
         avg_y = average_states(uploaded_states, weights)
@@ -112,7 +136,7 @@ class Scaffold(FLAlgorithm):
         self.global_model.load_state_dict(new_state)
 
         # Server control: c ← c + (|S|/N) · mean(Δcᵢ)
-        frac = len(selected) / self.fed.num_clients
+        frac = len(updates) / self.fed.num_clients
         for name in param_names:
             mean_dc = np.mean([dc[name] for dc in delta_controls], axis=0)
             self.server_control[name] += frac * mean_dc

@@ -54,6 +54,10 @@ def load_history(path: "str | pathlib.Path") -> RunHistory:
                 num_selected=r["num_selected"],
                 local_accuracy=r.get("local_accuracy"),
                 wall_time=r.get("wall_time", 0.0),
+                num_sampled=r.get("num_sampled"),
+                num_failed=r.get("num_failed", 0),
+                failures={int(cid): reason for cid, reason in r.get("failures", {}).items()},
+                sim_time_s=r.get("sim_time_s", 0.0),
             )
         )
     return history

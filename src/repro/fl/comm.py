@@ -38,12 +38,21 @@ class CommMeter:
     _current_round: int = -1
 
     def begin_round(self, round_idx: int) -> None:
-        """Open accounting for a new communication round."""
-        if round_idx != len(self.round_bytes):
+        """Open accounting for a new communication round.
+
+        Rounds normally open sequentially, but a run resumed from a
+        checkpoint (or a runtime retrying a round) may start at round *r*
+        on a fresh meter: gaps are backfilled with zero-byte rounds so the
+        per-round ledger stays index-aligned. Reopening an already-closed
+        round would corrupt the ledger and raises.
+        """
+        if round_idx < len(self.round_bytes):
             raise ValueError(
-                f"rounds must be opened sequentially; expected {len(self.round_bytes)}, "
-                f"got {round_idx}"
+                f"round {round_idx} already opened; next expected round is "
+                f"{len(self.round_bytes)}"
             )
+        while len(self.round_bytes) < round_idx:
+            self.round_bytes.append(0)  # rounds that ran before the resume
         self.round_bytes.append(0)
         self._current_round = round_idx
 
@@ -108,6 +117,15 @@ class Channel:
             state = self.codec.decompress(state)
         return state
 
+    @staticmethod
+    def _check_multiplier(payload_multiplier: float) -> None:
+        # Retransmitting runtimes scale charges by attempt count; a negative
+        # multiplier would silently *credit* bytes back to the ledger.
+        if payload_multiplier < 0:
+            raise ValueError(
+                f"payload_multiplier must be non-negative; got {payload_multiplier}"
+            )
+
     def download(
         self,
         client_id: int,
@@ -115,6 +133,7 @@ class Channel:
         payload_multiplier: float = 1.0,
     ) -> "OrderedDict[str, np.ndarray]":
         """Server → client transfer; returns the client's deserialized copy."""
+        self._check_multiplier(payload_multiplier)
         payload = self._encode(state)
         self.meter.charge_down(client_id, int(len(payload) * payload_multiplier))
         return self._decode(payload)
@@ -126,6 +145,7 @@ class Channel:
         payload_multiplier: float = 1.0,
     ) -> "OrderedDict[str, np.ndarray]":
         """Client → server transfer; returns the server's deserialized copy."""
+        self._check_multiplier(payload_multiplier)
         payload = self._encode(state)
         self.meter.charge_up(client_id, int(len(payload) * payload_multiplier))
         return self._decode(payload)

@@ -17,7 +17,15 @@ __all__ = ["RoundRecord", "RunHistory"]
 
 @dataclass
 class RoundRecord:
-    """Measurements at the end of one communication round."""
+    """Measurements at the end of one communication round.
+
+    ``num_selected`` counts the clients whose updates were *aggregated*
+    (participation); under the fault-injecting runtime that can be fewer
+    than ``num_sampled``. ``failures`` maps client id → failure reason
+    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus``) and
+    ``sim_time_s`` is the virtual-clock round time (0 when the runtime is
+    not simulating time).
+    """
 
     round_idx: int  # 1-based
     accuracy: float
@@ -27,6 +35,10 @@ class RoundRecord:
     num_selected: int
     local_accuracy: float | None = None
     wall_time: float = 0.0
+    num_sampled: int | None = None
+    num_failed: int = 0
+    failures: dict = field(default_factory=dict)
+    sim_time_s: float = 0.0
 
 
 @dataclass
@@ -81,6 +93,24 @@ class RunHistory:
     def total_bytes(self) -> int:
         return int(self.records[-1].cum_bytes) if self.records else 0
 
+    @property
+    def participation(self) -> np.ndarray:
+        """Aggregated-client count per round."""
+        return np.array([r.num_selected for r in self.records], dtype=np.int64)
+
+    @property
+    def sim_times(self) -> np.ndarray:
+        """Virtual-clock round times (seconds)."""
+        return np.array([r.sim_time_s for r in self.records])
+
+    def total_failures(self) -> dict:
+        """Failure counts across the run, keyed by reason."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            for reason in r.failures.values():
+                counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
     def bytes_at_round(self, round_1based: int) -> int:
         """Cumulative traffic after ``round_1based`` rounds."""
         if not 1 <= round_1based <= len(self.records):
@@ -113,6 +143,10 @@ class RunHistory:
                     "num_selected": r.num_selected,
                     "local_accuracy": r.local_accuracy,
                     "wall_time": r.wall_time,
+                    "num_sampled": r.num_sampled,
+                    "num_failed": r.num_failed,
+                    "failures": {str(cid): reason for cid, reason in r.failures.items()},
+                    "sim_time_s": r.sim_time_s,
                 }
                 for r in self.records
             ],

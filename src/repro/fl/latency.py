@@ -86,6 +86,7 @@ def estimate_client_time(
     batch_input_shape: tuple[int, ...],
     payload_bytes: int,
     efficiency: float = 0.3,
+    flops_step: "int | None" = None,
 ) -> ClientTiming:
     """Simulate one client's round time.
 
@@ -103,10 +104,16 @@ def estimate_client_time(
     efficiency:
         Achievable fraction of peak FLOP/s (0.3 is a generous mobile
         figure for dense conv workloads).
+    flops_step:
+        Pre-measured per-step FLOPs, letting callers that time the same
+        architecture repeatedly (``repro.runtime.clock.VirtualClock``) skip
+        the instrumented profiling pass.
     """
     if steps < 0:
         raise ValueError("steps must be non-negative")
-    flops = flops_training_step(model, batch_input_shape) * steps
+    if flops_step is None:
+        flops_step = flops_training_step(model, batch_input_shape)
+    flops = flops_step * steps
     compute_s = flops / (profile.compute_gflops * 1e9 * efficiency)
     mbps = TIER_BANDWIDTH_MBPS.get(profile.name, _DEFAULT_MBPS)
     comm_s = payload_bytes * 8 / (mbps * 1e6)

@@ -34,6 +34,16 @@ class ClientSampler:
 
     def sample(self, round_idx: int) -> list[int]:
         """Client ids participating in ``round_idx`` (sorted)."""
+        return self.sample_n(round_idx, self.per_round)
+
+    def sample_n(self, round_idx: int, n: int) -> list[int]:
+        """Sample ``n`` clients for ``round_idx`` (sorted; clamped to the
+        federation size). The runtime uses this to over-provision rounds
+        under expected dropout; ``sample_n(t, per_round)`` ≡ ``sample(t)``.
+        """
+        if n < 1:
+            raise ValueError(f"must sample at least one client; got {n}")
+        n = min(n, self.num_clients)
         rng = new_rng(self.seed, "sampling", round_idx)
-        ids = rng.choice(self.num_clients, size=self.per_round, replace=False)
+        ids = rng.choice(self.num_clients, size=n, replace=False)
         return sorted(int(i) for i in ids)

@@ -1,0 +1,49 @@
+"""Federated execution runtime: executors, fault injection, straggler policy.
+
+Every FL algorithm's round loop runs *through* this package (see
+:class:`repro.runtime.FLRuntime`): client work is submitted to a pluggable
+executor (in-process serial, or fork-based process-parallel), seeded fault
+injection decides per-(round, client) dropout / straggler slowdown / uplink
+loss, and a virtual-clock deadline policy picks which survivors the server
+aggregates. Serial and parallel backends are bit-identical; faults are
+deterministic in ``(seed, round, client)``.
+
+Import-order note: submodules are loaded leaf-first (``faults``/``executors``
+have no ``repro.fl`` dependency) so that ``repro.fl`` ↔ ``repro.runtime``
+cross-imports resolve under either entry point.
+"""
+
+from repro.runtime.faults import (
+    NO_FAULTS,
+    ClientFaults,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.runtime.executors import (
+    ClientExecutor,
+    ClientUpdate,
+    ParallelExecutor,
+    SerialExecutor,
+    fork_available,
+    make_executor,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.runtime import FLRuntime, RoundOutcome
+
+__all__ = [
+    "FaultSpec",
+    "ClientFaults",
+    "FaultPlan",
+    "parse_fault_spec",
+    "NO_FAULTS",
+    "ClientExecutor",
+    "ClientUpdate",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "fork_available",
+    "VirtualClock",
+    "FLRuntime",
+    "RoundOutcome",
+]

@@ -1,0 +1,169 @@
+"""Client executors: how one round's per-client work actually runs.
+
+Algorithms hand the runtime a *work function* ``work(client_id, payload) ->
+ClientUpdate`` plus one ``(client_id, payload)`` task per participating
+client. The executor decides the mechanics:
+
+- :class:`SerialExecutor` runs tasks in-process, in order — the
+  deterministic reference implementation;
+- :class:`ParallelExecutor` fans tasks out over a fork-based
+  ``ProcessPoolExecutor``. Workers are forked *per round*, so every child
+  sees an exact snapshot of the algorithm's round-start state; the work
+  closure itself never crosses a pipe (children inherit it through the
+  fork), and only picklable payloads/updates do.
+
+The contract that makes both backends bit-identical: ``work`` may *read*
+algorithm state (the round-start snapshot) but must not rely on *writes* to
+it — anything a client changes must come back inside the returned
+:class:`ClientUpdate`, which the parent process applies.
+
+Like :mod:`repro.runtime.faults`, this module must not import
+:mod:`repro.fl` (the algorithm layer imports us).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "ClientUpdate",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+# work(client_id, payload) -> ClientUpdate
+WorkFn = Callable[[int, Mapping[str, Any]], "ClientUpdate"]
+Task = "tuple[int, Mapping[str, Any]]"
+
+
+@dataclass
+class ClientUpdate:
+    """Everything one client sends back (or changes) in a round.
+
+    The update is the *only* channel from client work to the server: in
+    parallel mode it is pickled across a process boundary, so every field
+    must be plain data (numpy arrays, dataclasses of scalars).
+
+    Attributes
+    ----------
+    client_id:
+        The reporting client.
+    states:
+        Named uplink payloads in wire order (e.g. ``{"state": ...}`` for
+        FedAvg, ``{"state": ..., "delta_control": ...}`` for SCAFFOLD).
+        The server charges each through the channel before aggregating.
+    weight:
+        Aggregation weight (conventionally the client's shard size).
+    steps:
+        Local optimizer steps taken — drives the virtual-clock compute time.
+    stats:
+        The trainer's stats object (``TrainStats``/``MutualTrainStats``).
+    extra:
+        Algorithm-specific picklable server-side values (τ, new control
+        variates, public-set logits, ...).
+    local_state:
+        Updated state of the client's *persistent on-device* model, for
+        algorithms (FedKEMF, FedMD) whose clients keep models between
+        rounds. The parent writes it back via
+        ``FLAlgorithm.apply_client_update`` so parallel workers stay
+        stateless.
+    received:
+        Parent-side only: the channel-decoded copies of ``states`` (what
+        the server actually sees after the wire codec). Never set by client
+        work.
+    """
+
+    client_id: int
+    states: "dict[str, Mapping[str, Any]]" = field(default_factory=dict)
+    weight: float = 1.0
+    steps: int = 0
+    stats: Any = None
+    extra: "dict[str, Any]" = field(default_factory=dict)
+    local_state: "Mapping[str, Any] | None" = None
+    received: "dict[str, Mapping[str, Any]] | None" = None
+
+
+class ClientExecutor:
+    """Interface: run one round of per-client work."""
+
+    workers: int = 1
+
+    def run_round(self, work: WorkFn, tasks: "Sequence[Task]") -> "list[ClientUpdate]":
+        """Execute ``work`` for every task; results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (no-op for per-round pools)."""
+
+
+class SerialExecutor(ClientExecutor):
+    """In-process, in-order execution — the reference backend."""
+
+    workers = 1
+
+    def run_round(self, work: WorkFn, tasks: "Sequence[Task]") -> "list[ClientUpdate]":
+        return [work(cid, payload) for cid, payload in tasks]
+
+
+# The work closure for the round in flight. Set in the parent immediately
+# before the pool forks; children inherit the binding through fork, so the
+# (unpicklable) closure never crosses a pipe.
+_FORK_WORK: "WorkFn | None" = None
+
+
+def _invoke(cid: int, payload: Mapping[str, Any]) -> "ClientUpdate":
+    assert _FORK_WORK is not None, "worker forked without a registered work fn"
+    return _FORK_WORK(cid, payload)
+
+
+def fork_available() -> bool:
+    """Whether fork-based process pools exist on this platform."""
+    return hasattr(os, "fork") and "fork" in multiprocessing.get_all_start_methods()
+
+
+class ParallelExecutor(ClientExecutor):
+    """Process-parallel execution over a per-round fork pool.
+
+    A fresh pool per round costs one fork per worker (~ms) and buys the key
+    correctness property for free: children snapshot the algorithm exactly
+    at round start, so no stale per-client state can leak across rounds and
+    no explicit context shipping is needed. Falls back to serial execution
+    where fork is unavailable (non-POSIX) or for degenerate rounds.
+    """
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1; got {workers}")
+        self.workers = int(workers)
+
+    def run_round(self, work: WorkFn, tasks: "Sequence[Task]") -> "list[ClientUpdate]":
+        if self.workers < 2 or len(tasks) < 2 or not fork_available():
+            return [work(cid, payload) for cid, payload in tasks]
+        global _FORK_WORK
+        _FORK_WORK = work
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with _PoolExecutor(
+                max_workers=min(self.workers, len(tasks)), mp_context=ctx
+            ) as pool:
+                futures = [pool.submit(_invoke, cid, payload) for cid, payload in tasks]
+                return [f.result() for f in futures]
+        finally:
+            _FORK_WORK = None
+
+
+def make_executor(workers: int = 0) -> ClientExecutor:
+    """Build the executor for a worker count (0/1 → serial, ≥2 → parallel)."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0; got {workers}")
+    if workers >= 2:
+        return ParallelExecutor(workers)
+    return SerialExecutor()

@@ -1,0 +1,124 @@
+"""The federated execution runtime: executor + faults + straggler policy.
+
+:class:`FLRuntime` bundles the three orthogonal pieces the round loop in
+:mod:`repro.fl.algorithms.base` consumes:
+
+- a :class:`~repro.runtime.executors.ClientExecutor` (serial or
+  process-parallel) that runs per-client work;
+- an optional :class:`~repro.runtime.faults.FaultPlan` injecting dropout,
+  straggler slowdown and lossy uplinks, deterministically in
+  ``(seed, round, client)``;
+- an optional deadline straggler policy: over-provision the sample by the
+  expected dropout (``ceil(K / (1 - dropout))``), accept the first ``K``
+  survivors whose :class:`~repro.runtime.clock.VirtualClock` finish time
+  beats the deadline, and aggregate only those.
+
+The default runtime (``FLRuntime.from_config`` with no workers/faults/
+deadline configured) degenerates to exactly the pre-runtime behaviour:
+serial execution, every sampled client participates, zero overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.executors import ClientExecutor, SerialExecutor, make_executor
+from repro.runtime.faults import NO_FAULTS, ClientFaults, FaultPlan, parse_fault_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.federated import FederatedDataset
+
+__all__ = ["FLRuntime", "RoundOutcome"]
+
+
+@dataclass
+class RoundOutcome:
+    """What actually happened in one executed round.
+
+    ``failures`` maps client id → reason: ``"dropout"`` (never started),
+    ``"uplink-lost"`` (all retransmissions lost), ``"deadline"`` (finished
+    after the round deadline), ``"surplus"`` (on time, but the server had
+    already accepted its target K — over-provisioning headroom).
+    """
+
+    round_idx: int
+    sampled: list[int] = field(default_factory=list)
+    trained: list[int] = field(default_factory=list)
+    aggregated: list[int] = field(default_factory=list)
+    failures: dict[int, str] = field(default_factory=dict)
+    sim_time_s: float = 0.0
+
+    def failure_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for reason in self.failures.values():
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+
+@dataclass
+class FLRuntime:
+    """Execution policy for one FL run (see module docstring)."""
+
+    executor: ClientExecutor = field(default_factory=SerialExecutor)
+    plan: "FaultPlan | None" = None
+    deadline_s: "float | None" = None
+    over_provision: bool = True
+    clock: "VirtualClock | None" = None
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any fault axis can fire."""
+        return self.plan is not None and not self.plan.spec.is_null
+
+    @property
+    def simulates_time(self) -> bool:
+        return self.clock is not None
+
+    def decide(self, round_idx: int, client_id: int) -> ClientFaults:
+        if self.plan is None:
+            return NO_FAULTS
+        return self.plan.decide(round_idx, client_id)
+
+    def provision(self, target_k: int, num_clients: int) -> int:
+        """How many clients to sample so ~``target_k`` survive dropout."""
+        if not (self.over_provision and self.faulty) or self.plan.spec.dropout <= 0.0:
+            return target_k
+        return min(num_clients, math.ceil(target_k / (1.0 - self.plan.spec.dropout)))
+
+    def retry_delay_s(self, faults: ClientFaults) -> float:
+        if self.plan is None:
+            return 0.0
+        return self.plan.retry_delay_s(faults.uplink_attempts)
+
+    @classmethod
+    def from_config(cls, cfg, fed: "FederatedDataset") -> "FLRuntime":
+        """Build the runtime an :class:`FLConfig` describes.
+
+        Reads ``cfg.workers`` (executor), ``cfg.faults`` (fault spec
+        string), ``cfg.deadline`` and ``cfg.over_provision``. The virtual
+        clock is materialized only when a policy needs it (faults or a
+        deadline), so plain runs skip device sampling and FLOP profiling
+        entirely.
+        """
+        spec = parse_fault_spec(getattr(cfg, "faults", None))
+        plan = FaultPlan(spec, seed=cfg.seed) if spec is not None else None
+        deadline = getattr(cfg, "deadline", None)
+        clock = None
+        if (plan is not None and not spec.is_null) or deadline is not None:
+            from repro.fl.devices import sample_device_profiles
+
+            sample, _label = fed.client_train[0][0]
+            clock = VirtualClock(
+                profiles=sample_device_profiles(fed.num_clients, seed=cfg.seed),
+                batch_input_shape=(cfg.batch_size, *sample.shape),
+            )
+        return cls(
+            executor=make_executor(getattr(cfg, "workers", 0)),
+            plan=plan,
+            deadline_s=deadline,
+            over_provision=getattr(cfg, "over_provision", True),
+            clock=clock,
+        )

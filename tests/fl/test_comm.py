@@ -20,7 +20,20 @@ class TestMeter:
         m.begin_round(0)
         m.begin_round(1)
         with pytest.raises(ValueError):
-            m.begin_round(5)
+            m.begin_round(1)  # reopening a closed round corrupts the ledger
+        with pytest.raises(ValueError):
+            m.begin_round(0)
+
+    def test_resume_gap_backfilled(self):
+        """A fresh meter may open at round r (checkpoint resume): earlier
+        rounds appear as zero-byte entries so indices stay aligned."""
+        m = CommMeter()
+        m.begin_round(3)
+        m.charge_up(0, 10)
+        assert m.round_bytes == [0, 0, 0, 10]
+        m.begin_round(4)
+        m.charge_down(1, 5)
+        assert m.round_bytes == [0, 0, 0, 10, 5]
 
     def test_charges_accumulate(self):
         m = CommMeter()
@@ -77,6 +90,27 @@ class TestChannel:
         state = small_state()
         ch.download(0, state, payload_multiplier=2.0)
         assert m.downlink[0] == 2 * state_dict_num_bytes(state)
+
+    def test_negative_multiplier_rejected(self):
+        m = CommMeter()
+        ch = Channel(m)
+        m.begin_round(0)
+        with pytest.raises(ValueError):
+            ch.download(0, small_state(), payload_multiplier=-1.0)
+        with pytest.raises(ValueError):
+            ch.upload(0, small_state(), payload_multiplier=-0.5)
+        assert m.total == 0  # nothing charged on the rejected transfers
+
+    def test_zero_multiplier_charges_nothing(self):
+        """0.0 is legal (e.g. a transfer the runtime fully suppressed) and
+        must charge zero bytes while still delivering the payload."""
+        m = CommMeter()
+        ch = Channel(m)
+        m.begin_round(0)
+        state = small_state()
+        out = ch.upload(2, state, payload_multiplier=0.0)
+        assert m.total_up == 0
+        np.testing.assert_array_equal(out["w"], state["w"])
 
     def test_real_model_payload_close_to_num_bytes(self):
         """Wire size ≈ raw tensor bytes + small header overhead (<1% at

@@ -1,0 +1,89 @@
+"""Executor contract: serial and parallel backends return identical updates,
+in task order, for pure work functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.executors import (
+    ClientUpdate,
+    ParallelExecutor,
+    SerialExecutor,
+    fork_available,
+    make_executor,
+)
+
+
+def _square_work(cid, payload):
+    return ClientUpdate(
+        client_id=cid,
+        states={"state": {"x": payload["x"] ** 2}},
+        weight=float(cid),
+        steps=int(payload["x"].size),
+    )
+
+
+def _tasks(n=6):
+    rng = np.random.default_rng(0)
+    return [(cid, {"x": rng.normal(size=(3, 3))}) for cid in range(n)]
+
+
+class TestMakeExecutor:
+    def test_mapping(self):
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        ex = make_executor(4)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.workers == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor(-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestRunRound:
+    def test_serial_order(self):
+        tasks = _tasks()
+        updates = SerialExecutor().run_round(_square_work, tasks)
+        assert [u.client_id for u in updates] == [cid for cid, _ in tasks]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_matches_serial(self):
+        tasks = _tasks()
+        serial = SerialExecutor().run_round(_square_work, tasks)
+        parallel = ParallelExecutor(4).run_round(_square_work, tasks)
+        assert [u.client_id for u in parallel] == [u.client_id for u in serial]
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(s.states["state"]["x"], p.states["state"]["x"])
+            assert s.weight == p.weight and s.steps == p.steps
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_supports_closures(self):
+        """The work fn crosses into workers via fork inheritance, so an
+        unpicklable closure (the common case: a bound method over a model)
+        must work."""
+        scale = np.float64(3.0)
+
+        def work(cid, payload):
+            return ClientUpdate(client_id=cid, states={"s": {"x": payload["x"] * scale}})
+
+        tasks = _tasks(4)
+        updates = ParallelExecutor(2).run_round(work, tasks)
+        for (cid, payload), u in zip(tasks, updates):
+            np.testing.assert_array_equal(u.states["s"]["x"], payload["x"] * 3.0)
+
+    def test_parallel_degenerate_rounds_run_serial(self):
+        # single task: not worth forking; must still produce the result
+        updates = ParallelExecutor(4).run_round(_square_work, _tasks(1))
+        assert len(updates) == 1 and updates[0].client_id == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_worker_exception_propagates(self):
+        def boom(cid, payload):
+            raise RuntimeError(f"client {cid} exploded")
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            ParallelExecutor(2).run_round(boom, _tasks(4))

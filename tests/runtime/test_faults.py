@@ -1,0 +1,118 @@
+"""Fault schedules must be pure functions of (seed, round, client)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.faults import FaultPlan, FaultSpec, NO_FAULTS, parse_fault_spec
+
+
+class TestFaultSpec:
+    def test_defaults_are_null(self):
+        assert FaultSpec().is_null
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(dropout=1.0)  # probability must stay below 1
+        with pytest.raises(ValueError):
+            FaultSpec(dropout=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(straggler_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(backoff_s=-1.0)
+
+
+class TestParse:
+    def test_none_and_empty(self):
+        assert parse_fault_spec(None) is None
+        assert parse_fault_spec("") is None
+        assert parse_fault_spec("  ") is None
+
+    def test_passthrough(self):
+        spec = FaultSpec(dropout=0.2)
+        assert parse_fault_spec(spec) is spec
+
+    def test_full_spec(self):
+        spec = parse_fault_spec(
+            "dropout=0.3, loss=0.1, slowdown=4, straggler=0.25, retries=3, backoff=0.2"
+        )
+        assert spec == FaultSpec(
+            dropout=0.3,
+            uplink_loss=0.1,
+            straggler_slowdown=4.0,
+            straggler_rate=0.25,
+            max_retries=3,
+            backoff_s=0.2,
+        )
+
+    @pytest.mark.parametrize("bad", ["dropout", "frobnicate=1", "dropout=2.0"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+
+class TestFaultPlan:
+    SPEC = FaultSpec(dropout=0.3, straggler_rate=0.5, uplink_loss=0.2)
+
+    def test_deterministic_and_order_independent(self):
+        a = FaultPlan(self.SPEC, seed=7)
+        b = FaultPlan(self.SPEC, seed=7)
+        keys = [(r, c) for r in range(4) for c in range(8)]
+        forward = [a.decide(r, c) for r, c in keys]
+        backward = [b.decide(r, c) for r, c in reversed(keys)]
+        assert forward == list(reversed(backward))
+        # and re-asking the same plan gives the same answers
+        assert forward == [a.decide(r, c) for r, c in keys]
+
+    def test_seed_changes_schedule(self):
+        a = FaultPlan(self.SPEC, seed=0)
+        b = FaultPlan(self.SPEC, seed=1)
+        keys = [(r, c) for r in range(6) for c in range(10)]
+        assert [a.decide(*k) for k in keys] != [b.decide(*k) for k in keys]
+
+    def test_axes_independent(self):
+        """Enabling uplink loss must not perturb the dropout schedule (each
+        decision consumes a fixed number of variates per axis)."""
+        drop_only = FaultPlan(FaultSpec(dropout=0.3), seed=3)
+        with_loss = FaultPlan(FaultSpec(dropout=0.3, uplink_loss=0.4), seed=3)
+        for r in range(4):
+            for c in range(10):
+                assert drop_only.decide(r, c).dropped == with_loss.decide(r, c).dropped
+
+    def test_fault_rates_roughly_match(self):
+        plan = FaultPlan(self.SPEC, seed=11)
+        decisions = [plan.decide(r, c) for r in range(50) for c in range(20)]
+        drop_rate = sum(d.dropped for d in decisions) / len(decisions)
+        assert 0.25 < drop_rate < 0.35
+        slow_rate = sum(d.slowdown > 1.0 for d in decisions) / len(decisions)
+        assert 0.45 < slow_rate < 0.55
+
+    def test_slowdown_bounded(self):
+        spec = FaultSpec(straggler_rate=0.9, straggler_slowdown=4.0)
+        plan = FaultPlan(spec, seed=5)
+        for r in range(10):
+            for c in range(10):
+                assert 1.0 <= plan.decide(r, c).slowdown <= 4.0
+
+    def test_uplink_attempt_budget(self):
+        spec = FaultSpec(uplink_loss=0.8, max_retries=2)
+        plan = FaultPlan(spec, seed=9)
+        decisions = [plan.decide(r, c) for r in range(30) for c in range(10)]
+        assert any(d.uplink_attempts is None for d in decisions)  # some fully lost
+        for d in decisions:
+            if d.uplink_attempts is not None:
+                assert 1 <= d.uplink_attempts <= spec.max_retries + 1
+
+    def test_retry_delay(self):
+        plan = FaultPlan(FaultSpec(uplink_loss=0.5, max_retries=2, backoff_s=0.5))
+        assert plan.retry_delay_s(1) == 0.0  # first try landed: no backoff
+        assert plan.retry_delay_s(2) == 0.5
+        assert plan.retry_delay_s(3) == 1.5
+        assert plan.retry_delay_s(None) == 1.5  # all three transmissions lost
+
+    def test_no_faults_constant(self):
+        assert not NO_FAULTS.dropped
+        assert NO_FAULTS.slowdown == 1.0
+        assert NO_FAULTS.uplink_attempts == 1

@@ -1,0 +1,102 @@
+"""The acceptance property of the execution runtime: a parallel run is
+numerically identical to the serial reference — same histories, same final
+models — for both FedAvg and FedKEMF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FedKEMF
+from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
+from repro.runtime.executors import ParallelExecutor, fork_available
+
+
+def _assert_histories_identical(a, b):
+    assert a.num_rounds == b.num_rounds
+    for ra, rb in zip(a.records, b.records):
+        assert ra.accuracy == rb.accuracy  # bit-identical, not allclose
+        assert ra.loss == rb.loss
+        assert ra.cum_bytes == rb.cum_bytes
+        assert ra.round_bytes == rb.round_bytes
+        assert ra.num_selected == rb.num_selected
+        assert ra.num_sampled == rb.num_sampled
+        assert ra.num_failed == rb.num_failed
+        assert ra.failures == rb.failures
+        assert ra.sim_time_s == rb.sim_time_s
+
+
+def _assert_models_identical(m_a, m_b):
+    sa, sb = m_a.state_dict(), m_b.state_dict()
+    assert list(sa) == list(sb)
+    for k in sa:
+        np.testing.assert_array_equal(sa[k], sb[k], err_msg=k)
+
+
+def _config(**overrides):
+    base = dict(
+        rounds=2,
+        sample_ratio=0.5,
+        local_epochs=1,
+        batch_size=16,
+        lr=0.05,
+        seed=0,
+        distill_epochs=1,
+    )
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+
+
+@needs_fork
+class TestSerialParallelParity:
+    def test_fedavg(self, micro_fed, micro_model_fn):
+        serial = ALGORITHM_REGISTRY.get("fedavg")(
+            micro_model_fn, micro_fed, _config(workers=0)
+        )
+        parallel = ALGORITHM_REGISTRY.get("fedavg")(
+            micro_model_fn, micro_fed, _config(workers=4)
+        )
+        assert isinstance(parallel.runtime.executor, ParallelExecutor)
+        _assert_histories_identical(serial.run(), parallel.run())
+        _assert_models_identical(serial.global_model, parallel.global_model)
+        assert serial.meter.total == parallel.meter.total
+
+    def test_fedkemf(self, micro_fed, micro_model_fn):
+        runs = {}
+        for workers in (0, 4):
+            algo = FedKEMF(
+                micro_model_fn, micro_fed, _config(workers=workers),
+                local_model_fns=micro_model_fn,
+            )
+            runs[workers] = (algo.run(), algo)
+        _assert_histories_identical(runs[0][0], runs[4][0])
+        _assert_models_identical(runs[0][1].global_model, runs[4][1].global_model)
+        # persistent on-device models must round-trip through the workers
+        for m_s, m_p in zip(
+            runs[0][1].local_models_for_eval(), runs[4][1].local_models_for_eval()
+        ):
+            _assert_models_identical(m_s, m_p)
+
+    def test_fedavg_parity_under_faults(self, micro_fed, micro_model_fn):
+        cfg = dict(faults="dropout=0.3,loss=0.2,straggler=0.5,slowdown=3")
+        serial = ALGORITHM_REGISTRY.get("fedavg")(
+            micro_model_fn, micro_fed, _config(workers=0, **cfg)
+        )
+        parallel = ALGORITHM_REGISTRY.get("fedavg")(
+            micro_model_fn, micro_fed, _config(workers=4, **cfg)
+        )
+        _assert_histories_identical(serial.run(), parallel.run())
+        _assert_models_identical(serial.global_model, parallel.global_model)
+
+
+class TestRuntimeMeta:
+    def test_history_records_runtime(self, micro_fed, micro_model_fn):
+        algo = ALGORITHM_REGISTRY.get("fedavg")(micro_model_fn, micro_fed, _config())
+        history = algo.run()
+        rt = history.meta["runtime"]
+        assert rt["executor"] == "SerialExecutor"
+        assert rt["workers"] == 1
+        assert rt["faults"] is None and rt["deadline"] is None
