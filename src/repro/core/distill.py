@@ -34,6 +34,10 @@ class DistillConfig:
     temperature: float = 1.0
     optimizer: str = "adam"  # "adam" | "sgd"
     seed: int = 0
+    # chunk size for the frozen ensemble-teacher forward over the public
+    # set (inference only — any value gives identical logits; bigger chunks
+    # amortize per-batch overhead)
+    eval_batch_size: int = 256
 
 
 def distill_from_teacher_logits(
@@ -62,20 +66,28 @@ def distill_from_teacher_logits(
     rng = np.random.default_rng(config.seed)
     student.train()
     last_epoch_loss = 0.0
+    # Preallocated mini-batch gather buffers: the shuffled input/teacher
+    # rows for each step are np.take'n into the same two arrays instead of
+    # fancy-indexing fresh ones every step.
+    bs = config.batch_size
+    xbuf = np.empty((bs, *public_x.shape[1:]), dtype=public_x.dtype)
+    tbuf = np.empty((bs, teacher_logits.shape[1]), dtype=teacher_logits.dtype)
     for _epoch in range(config.epochs):
         order = rng.permutation(n)
         total, seen = 0.0, 0
-        for start in range(0, n, config.batch_size):
-            idx = order[start : start + config.batch_size]
+        for start in range(0, n, bs):
+            idx = order[start : start + bs]
+            b = len(idx)
+            xb, tb = xbuf[:b], tbuf[:b]
+            np.take(public_x, idx, axis=0, out=xb)
+            np.take(teacher_logits, idx, axis=0, out=tb)
             student.zero_grad()
-            logits = student(Tensor(public_x[idx]))
-            loss = F.kl_div_with_logits(
-                teacher_logits[idx], logits, temperature=config.temperature
-            )
+            logits = student(Tensor(xb))
+            loss = F.kl_div_with_logits(tb, logits, temperature=config.temperature)
             loss.backward()
             opt.step()
-            total += loss.item() * len(idx)
-            seen += len(idx)
+            total += loss.item() * b
+            seen += b
         last_epoch_loss = total / max(seen, 1)
     return last_epoch_loss
 

@@ -30,6 +30,7 @@ __all__ = [
     "ensemble_vote",
     "ensemble_logits",
     "member_logits",
+    "stack_member_logits",
     "collect_member_logits",
     "EnsembleModule",
 ]
@@ -59,9 +60,12 @@ def ensemble_vote(stacked: np.ndarray) -> np.ndarray:
     """
     m, n, c = stacked.shape
     votes = stacked.argmax(axis=2)  # (M, N)
-    counts = np.zeros((n, c), dtype=stacked.dtype)
-    np.add.at(counts, (np.arange(n)[None, :].repeat(m, 0).ravel(), votes.ravel()), 1.0)
-    return counts
+    # bincount over flattened (sample, class) pairs — vote counts are small
+    # integers, so the float accumulation is exact and order-independent
+    # (and ~10x faster than the equivalent np.add.at scatter).
+    flat = votes + np.arange(n)[None, :] * c  # (M, N) linear indices
+    counts = np.bincount(flat.ravel(), minlength=n * c)
+    return counts.reshape(n, c).astype(stacked.dtype)
 
 
 def ensemble_logits(stacked: np.ndarray, strategy: str = "max") -> np.ndarray:
@@ -75,17 +79,30 @@ def ensemble_logits(stacked: np.ndarray, strategy: str = "max") -> np.ndarray:
     return fn(stacked)
 
 
-def member_logits(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-    """One member's logits over an array of inputs, computed in eval mode."""
+def member_logits(
+    model: Module, x: np.ndarray, batch_size: int = 256, out: "np.ndarray | None" = None
+) -> np.ndarray:
+    """One member's logits over an array of inputs, computed in eval mode.
+
+    The forward runs in ``batch_size`` chunks; each chunk's logits are
+    written straight into ``out`` (allocated on the first chunk when not
+    supplied), so a full pass costs zero list/concatenate copies. Pass a
+    slice of a preallocated stacked buffer to collect many members without
+    intermediate allocation (see :func:`collect_member_logits`).
+    """
     was_training = model.training
     model.eval()
-    outs = []
     with no_grad():
         for start in range(0, len(x), batch_size):
-            outs.append(model(Tensor(x[start : start + batch_size])).data)
+            chunk = model(Tensor(x[start : start + batch_size])).data
+            if out is None:
+                out = np.empty((len(x), chunk.shape[1]), dtype=chunk.dtype)
+            out[start : start + chunk.shape[0]] = chunk
     if was_training:
         model.train()
-    return np.concatenate(outs, axis=0)
+    if out is None:
+        raise ValueError("member_logits needs a non-empty input batch")
+    return out
 
 
 class EnsembleModule(Module):
@@ -112,13 +129,36 @@ class EnsembleModule(Module):
         return Tensor(ensemble_logits(stacked, self.strategy))
 
 
+def stack_member_logits(
+    models: Sequence[Module],
+    x: np.ndarray,
+    batch_size: int = 256,
+    out: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Stack logits of many member models over an input array → (M, N, C).
+
+    Members are evaluated sequentially so only one activation set is alive
+    at a time (single-core memory discipline), and every member writes into
+    one preallocated (M, N, C) buffer — no per-member arrays, no final
+    ``np.stack`` copy. Pass ``out`` to reuse the buffer across rounds.
+    """
+    if not models:
+        raise ValueError("cannot stack logits of zero members")
+    if out is None:
+        first = member_logits(models[0], x, batch_size)
+        out = np.empty((len(models), *first.shape), dtype=first.dtype)
+        out[0] = first
+        rest = enumerate(models[1:], start=1)
+    else:
+        rest = enumerate(models)
+    for mi, model in rest:
+        member_logits(model, x, batch_size, out=out[mi])
+    return out
+
+
 def collect_member_logits(
     models: Sequence[Module], dataset: Dataset, batch_size: int = 256
 ) -> np.ndarray:
-    """Stack logits of many member models over a dataset → (M, N, C).
-
-    Members are evaluated sequentially so only one activation set is alive
-    at a time (single-core memory discipline).
-    """
+    """Stack logits of many member models over a dataset → (M, N, C)."""
     x, _ = dataset.arrays()
-    return np.stack([member_logits(m, x, batch_size) for m in models], axis=0)
+    return stack_member_logits(models, x, batch_size)

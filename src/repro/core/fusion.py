@@ -57,11 +57,21 @@ def fuse_ensemble_distill(
     if not client_states:
         raise ValueError("no client knowledge states to fuse")
     x, _ = public.arrays()
-    stacked = []
-    for state in client_states:
+    # All member logits land in one preallocated (M, N, C) buffer: each
+    # member is loaded into ``scratch`` once and forwarded over the public
+    # set in eval-chunk batches, writing straight into its buffer row — no
+    # per-member arrays and no final np.stack copy.
+    chunk = distill_config.eval_batch_size
+    stacked: np.ndarray | None = None
+    for mi, state in enumerate(client_states):
         scratch.load_state_dict(state)
-        stacked.append(member_logits(scratch, x, batch_size=distill_config.batch_size))
-    teacher = ensemble_logits(np.stack(stacked, axis=0), strategy)
+        if stacked is None:
+            first = member_logits(scratch, x, batch_size=chunk)
+            stacked = np.empty((len(client_states), *first.shape), dtype=first.dtype)
+            stacked[0] = first
+        else:
+            member_logits(scratch, x, batch_size=chunk, out=stacked[mi])
+    teacher = ensemble_logits(stacked, strategy)
 
     if init_from_average:
         fuse_weight_average(global_knowledge, client_states, weights)

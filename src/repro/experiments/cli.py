@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-parallel client execution (0/1 = serial; default: $REPRO_WORKERS)",
     )
     rt.add_argument(
+        "--executor",
+        default=None,
+        choices=["serial", "parallel", "persistent"],
+        help="executor backend: serial, parallel (fork per round), or persistent "
+        "(long-lived worker pool; default: $REPRO_EXECUTOR or by --workers)",
+    )
+    rt.add_argument(
         "--faults",
         default=None,
         help="fault injection spec, e.g. 'dropout=0.3,loss=0.1,slowdown=4' "
@@ -131,6 +138,8 @@ def main(argv: "list[str] | None" = None) -> int:
     # figures spawn (repro.experiments.configs.runtime_defaults) sees them.
     if args.workers is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.executor is not None:
+        os.environ["REPRO_EXECUTOR"] = args.executor
     if args.faults is not None:
         os.environ["REPRO_FAULTS"] = args.faults
     if args.deadline is not None:

@@ -166,17 +166,22 @@ def scaled_target(setting_key: str, scale: Scale | None = None) -> float:
 def runtime_defaults() -> dict:
     """Execution-runtime config overrides from the environment.
 
-    ``REPRO_WORKERS`` (int), ``REPRO_FAULTS`` (fault spec string, e.g.
+    ``REPRO_WORKERS`` (int), ``REPRO_EXECUTOR`` (serial | parallel |
+    persistent), ``REPRO_FAULTS`` (fault spec string, e.g.
     ``"dropout=0.3,loss=0.1"``) and ``REPRO_DEADLINE`` (float seconds) map
-    onto :class:`repro.fl.algorithms.FLConfig`'s ``workers`` / ``faults`` /
-    ``deadline`` fields. The CLI's ``--workers/--faults/--deadline`` flags
-    set these variables so one invocation configures every run it spawns.
-    Unset variables are omitted, leaving the config defaults in force.
+    onto :class:`repro.fl.algorithms.FLConfig`'s ``workers`` / ``executor``
+    / ``faults`` / ``deadline`` fields. The CLI's
+    ``--workers/--executor/--faults/--deadline`` flags set these variables
+    so one invocation configures every run it spawns. Unset variables are
+    omitted, leaving the config defaults in force.
     """
     out: dict = {}
     workers = os.environ.get("REPRO_WORKERS")
     if workers:
         out["workers"] = int(workers)
+    executor = os.environ.get("REPRO_EXECUTOR")
+    if executor:
+        out["executor"] = executor.strip().lower()
     faults = os.environ.get("REPRO_FAULTS")
     if faults:
         out["faults"] = faults

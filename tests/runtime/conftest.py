@@ -3,6 +3,8 @@ serial-vs-parallel parity runs in the seconds range."""
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
 from repro.data.federated import build_federated_dataset
@@ -27,9 +29,15 @@ def micro_fed():
 
 @pytest.fixture(scope="session")
 def micro_model_fn():
-    def build():
-        return build_model(
-            "mlp", num_classes=4, in_channels=1, image_size=8, width_mult=0.25, seed=1
-        )
-
-    return build
+    # A partial of a module-level function (not a local closure) so that the
+    # whole algorithm snapshot — which holds this factory — is picklable and
+    # PersistentParallelExecutor can ship it instead of falling back.
+    return functools.partial(
+        build_model,
+        "mlp",
+        num_classes=4,
+        in_channels=1,
+        image_size=8,
+        width_mult=0.25,
+        seed=1,
+    )

@@ -1,18 +1,25 @@
-"""Executor contract: serial and parallel backends return identical updates,
-in task order, for pure work functions."""
+"""Executor contract: serial, parallel and persistent backends return
+identical updates, in task order, for pure work functions."""
 
 from __future__ import annotations
+
+import functools
+import pickle
 
 import numpy as np
 import pytest
 
+from repro.runtime import executors as ex_mod
 from repro.runtime.executors import (
     ClientUpdate,
     ParallelExecutor,
+    PersistentParallelExecutor,
     SerialExecutor,
     fork_available,
     make_executor,
 )
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs fork start method")
 
 
 def _square_work(cid, payload):
@@ -42,6 +49,19 @@ class TestMakeExecutor:
             make_executor(-1)
         with pytest.raises(ValueError):
             ParallelExecutor(0)
+        with pytest.raises(ValueError):
+            PersistentParallelExecutor(0)
+
+    def test_explicit_kind(self):
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+        assert isinstance(make_executor(4, "parallel"), ParallelExecutor)
+        ex = make_executor(4, "persistent")
+        assert isinstance(ex, PersistentParallelExecutor)
+        assert ex.workers == 4
+        # workers < 2 with an explicit parallel kind means "use all cores"
+        assert make_executor(0, "persistent").workers >= 1
+        with pytest.raises(ValueError):
+            make_executor(2, "threads")
 
 
 class TestRunRound:
@@ -87,3 +107,108 @@ class TestRunRound:
 
         with pytest.raises(RuntimeError, match="exploded"):
             ParallelExecutor(2).run_round(boom, _tasks(4))
+
+
+def _scaled_work(scale, cid, payload):
+    return ClientUpdate(client_id=cid, states={"s": {"x": payload["x"] * scale}})
+
+
+@needs_fork
+class TestNestedExecutors:
+    def test_fork_work_stack_is_reentrant(self):
+        """Regression: the module-level work registry used to be a single
+        slot, so an executor used *inside* another round's work saw (and
+        then clobbered) the outer closure. The stack makes it reentrant."""
+        inner_tasks = _tasks(3)
+
+        def outer(cid, payload):
+            inner = ParallelExecutor(2).run_round(
+                functools.partial(_scaled_work, float(cid + 1)), inner_tasks
+            )
+            total = sum(u.states["s"]["x"].sum() for u in inner)
+            return ClientUpdate(client_id=cid, weight=float(total))
+
+        tasks = _tasks(2)
+        got = ParallelExecutor(2).run_round(outer, tasks)
+        want = SerialExecutor().run_round(outer, tasks)
+        assert [u.weight for u in got] == [u.weight for u in want]
+        assert ex_mod._FORK_WORK == []  # every frame popped on the way out
+
+    def test_stack_clean_after_worker_exception(self):
+        def boom(cid, payload):
+            raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError):
+            ParallelExecutor(2).run_round(boom, _tasks(4))
+        assert ex_mod._FORK_WORK == []
+
+
+@needs_fork
+class TestPersistentExecutor:
+    def test_matches_serial_and_ships(self):
+        tasks = _tasks()
+        serial = SerialExecutor().run_round(_square_work, tasks)
+        ex = PersistentParallelExecutor(4)
+        try:
+            for _round in range(3):  # pool reused across rounds
+                got = ex.run_round(_square_work, tasks)
+                assert ex.last_round_mode == "shipped"
+                for s, p in zip(serial, got):
+                    np.testing.assert_array_equal(
+                        s.states["state"]["x"], p.states["state"]["x"]
+                    )
+                    assert s.weight == p.weight and s.steps == p.steps
+        finally:
+            ex.close()
+
+    def test_unpicklable_work_falls_back_to_fork(self):
+        # a partial over a lambda defeats pickle-by-reference
+        work = functools.partial(_scaled_work, np.float64(2.0))
+        unpicklable = functools.partial(
+            lambda inner, cid, payload: inner(cid, payload), work
+        )
+        with pytest.raises(Exception):
+            pickle.dumps(unpicklable)  # the premise of this test
+        ex = PersistentParallelExecutor(2)
+        try:
+            tasks = _tasks(4)
+            got = ex.run_round(unpicklable, tasks)
+            assert ex.last_round_mode == "forked"
+            for (cid, payload), u in zip(tasks, got):
+                np.testing.assert_array_equal(u.states["s"]["x"], payload["x"] * 2.0)
+        finally:
+            ex.close()
+
+    def test_degenerate_round_runs_serial(self):
+        ex = PersistentParallelExecutor(4)
+        try:
+            updates = ex.run_round(_square_work, _tasks(1))
+            assert ex.last_round_mode == "serial"
+            assert len(updates) == 1 and updates[0].client_id == 0
+            assert ex._pool is None  # never forked a pool for it
+        finally:
+            ex.close()
+
+    def test_pickles_without_live_pool(self):
+        """The executor rides along inside the shipped algorithm snapshot
+        (reachable via algorithm.runtime.executor), so pickling it must
+        drop the pool rather than explode on its locks/pipes."""
+        ex = PersistentParallelExecutor(3)
+        try:
+            ex.run_round(_square_work, _tasks(4))  # pool is live now
+            clone = pickle.loads(pickle.dumps(ex))
+            assert clone.workers == 3
+            assert clone._pool is None
+            clone.close()
+        finally:
+            ex.close()
+
+    def test_close_rearms(self):
+        ex = PersistentParallelExecutor(2)
+        tasks = _tasks(4)
+        ex.run_round(_square_work, tasks)
+        ex.close()
+        assert ex._pool is None
+        got = ex.run_round(_square_work, tasks)  # forks a fresh pool
+        assert ex.last_round_mode == "shipped" and len(got) == len(tasks)
+        ex.close()

@@ -1,6 +1,6 @@
 """The acceptance property of the execution runtime: a parallel run is
 numerically identical to the serial reference — same histories, same final
-models — for both FedAvg and FedKEMF."""
+models — for both FedAvg and FedKEMF, on every executor backend."""
 
 from __future__ import annotations
 
@@ -9,7 +9,11 @@ import pytest
 
 from repro.core import FedKEMF
 from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
-from repro.runtime.executors import ParallelExecutor, fork_available
+from repro.runtime.executors import (
+    ParallelExecutor,
+    PersistentParallelExecutor,
+    fork_available,
+)
 
 
 def _assert_histories_identical(a, b):
@@ -90,6 +94,51 @@ class TestSerialParallelParity:
         )
         _assert_histories_identical(serial.run(), parallel.run())
         _assert_models_identical(serial.global_model, parallel.global_model)
+
+
+@needs_fork
+class TestThreeWayParity:
+    """Serial vs per-round-fork vs persistent-pool: bit-identical histories
+    and models under the same seed, and the persistent run must actually
+    take the shipped-snapshot path (not silently fall back)."""
+
+    def _run(self, algo_factory, executor_kind):
+        algo = algo_factory(_config(workers=4, executor=executor_kind))
+        history = algo.run()
+        return history, algo
+
+    def _check(self, algo_factory):
+        runs = {k: self._run(algo_factory, k) for k in ("serial", "parallel", "persistent")}
+        assert isinstance(runs["parallel"][1].runtime.executor, ParallelExecutor)
+        persistent_ex = runs["persistent"][1].runtime.executor
+        assert isinstance(persistent_ex, PersistentParallelExecutor)
+        assert persistent_ex.last_round_mode == "shipped"
+        for kind in ("parallel", "persistent"):
+            _assert_histories_identical(runs["serial"][0], runs[kind][0])
+            _assert_models_identical(
+                runs["serial"][1].global_model, runs[kind][1].global_model
+            )
+            assert runs["serial"][1].meter.total == runs[kind][1].meter.total
+        return runs
+
+    def test_fedavg(self, micro_fed, micro_model_fn):
+        self._check(
+            lambda cfg: ALGORITHM_REGISTRY.get("fedavg")(micro_model_fn, micro_fed, cfg)
+        )
+
+    def test_fedkemf(self, micro_fed, micro_model_fn):
+        runs = self._check(
+            lambda cfg: FedKEMF(
+                micro_model_fn, micro_fed, cfg, local_model_fns=micro_model_fn
+            )
+        )
+        # persistent on-device models must round-trip through the pool too
+        for kind in ("parallel", "persistent"):
+            for m_s, m_p in zip(
+                runs["serial"][1].local_models_for_eval(),
+                runs[kind][1].local_models_for_eval(),
+            ):
+                _assert_models_identical(m_s, m_p)
 
 
 class TestRuntimeMeta:
