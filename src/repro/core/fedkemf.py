@@ -104,6 +104,20 @@ class FedKEMF(FLAlgorithm):
         )
         self.last_distill_loss: float | None = None
 
+    def server_state(self) -> dict:
+        # The heterogeneous local models are the on-device deployment
+        # artifacts — without them a resumed run would restart every θ from
+        # scratch and diverge from the uninterrupted trajectory.
+        return {
+            "local_models": [m.state_dict() for m in self.local_models],
+            "last_distill_loss": self.last_distill_loss,
+        }
+
+    def load_server_state(self, state: dict) -> None:
+        for model, weights in zip(self.local_models, state["local_models"]):
+            model.load_state_dict(weights)
+        self.last_distill_loss = state["last_distill_loss"]
+
     def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
         # Client loads θ_g (tiny payload) into its working copy.
         self._scratch.load_state_dict(payload["state"])

@@ -74,6 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="virtual-clock round deadline in seconds (default: $REPRO_DEADLINE)",
     )
+    ck = p.add_argument_group("durability (checkpoint / resume)")
+    ck.add_argument(
+        "--checkpoint-dir",
+        type=pathlib.Path,
+        default=None,
+        help="snapshot complete run state here every --checkpoint-every rounds "
+        "(default: $REPRO_CHECKPOINT_DIR; unset = no checkpointing)",
+    )
+    ck.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="checkpoint cadence in rounds (default: $REPRO_CHECKPOINT_EVERY or 1)",
+    )
+    ck.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue each run from its checkpoint in --checkpoint-dir when one "
+        "exists (bit-identical replay); runs without one start fresh "
+        "(default: $REPRO_RESUME)",
+    )
     return p
 
 
@@ -144,6 +165,12 @@ def main(argv: "list[str] | None" = None) -> int:
         os.environ["REPRO_FAULTS"] = args.faults
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
+    if args.checkpoint_dir is not None:
+        os.environ["REPRO_CHECKPOINT_DIR"] = str(args.checkpoint_dir)
+    if args.checkpoint_every is not None:
+        os.environ["REPRO_CHECKPOINT_EVERY"] = str(args.checkpoint_every)
+    if args.resume:
+        os.environ["REPRO_RESUME"] = "1"
     print(f"[scale={scale.name}: image {scale.image_size}px, rounds {scale.rounds}, "
           f"clients {scale.clients}]\n")
     runner = ExperimentRunner(scale)

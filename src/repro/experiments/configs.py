@@ -30,6 +30,7 @@ __all__ = [
     "scaled_clients",
     "scaled_target",
     "runtime_defaults",
+    "checkpoint_defaults",
 ]
 
 
@@ -188,4 +189,29 @@ def runtime_defaults() -> dict:
     deadline = os.environ.get("REPRO_DEADLINE")
     if deadline:
         out["deadline"] = float(deadline)
+    return out
+
+
+def checkpoint_defaults() -> dict:
+    """Durability settings from the environment.
+
+    ``REPRO_CHECKPOINT_DIR`` (path; enables mid-run checkpointing),
+    ``REPRO_CHECKPOINT_EVERY`` (int rounds, default 1) and ``REPRO_RESUME``
+    ("1"/"true" to continue from each run's own checkpoint when present)
+    map onto the ``checkpoint_dir`` / ``checkpoint_every`` / ``resume_from``
+    keyword arguments of :meth:`repro.fl.algorithms.FLAlgorithm.run`. The
+    CLI's ``--checkpoint-dir/--checkpoint-every/--resume`` flags set these
+    variables. Returns ``{}`` when no checkpoint dir is configured —
+    durability is strictly opt-in.
+    """
+    directory = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if not directory:
+        return {}
+    out: dict = {"checkpoint_dir": directory}
+    every = os.environ.get("REPRO_CHECKPOINT_EVERY")
+    if every:
+        out["checkpoint_every"] = int(every)
+    resume = os.environ.get("REPRO_RESUME", "").strip().lower()
+    if resume in ("1", "true", "yes", "on"):
+        out["resume_from"] = True
     return out

@@ -14,7 +14,13 @@ from typing import Callable
 from repro.core import FedKEMF, local_model_builders, plan_multi_model
 from repro.data.federated import FederatedDataset, build_federated_dataset
 from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
-from repro.experiments.configs import CLIENT_SETTINGS, Scale, get_scale, runtime_defaults
+from repro.experiments.configs import (
+    CLIENT_SETTINGS,
+    Scale,
+    checkpoint_defaults,
+    get_scale,
+    runtime_defaults,
+)
 from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
 from repro.fl.history import RunHistory
 from repro.nn.models import KNOWLEDGE_DEFAULTS, build_model
@@ -156,6 +162,17 @@ class ExperimentRunner:
         )
         return base.with_overrides(**overrides) if overrides else base
 
+    @staticmethod
+    def _checkpoint_kwargs(key: RunKey, suffix: str = "") -> dict:
+        """Durability kwargs for one run, named uniquely by its RunKey so a
+        sweep directory holds one resumable checkpoint per run."""
+        kwargs = checkpoint_defaults()
+        if kwargs:
+            kwargs["checkpoint_name"] = (
+                f"{key.method}-{key.model}-{key.dataset}-c{key.setting}-seed{key.seed}{suffix}"
+            )
+        return kwargs
+
     def run(
         self,
         method: str,
@@ -205,7 +222,7 @@ class ExperimentRunner:
             cls = ALGORITHM_REGISTRY.get(key.method)
             algo = cls(self.model_fn(model, dataset), fed, cfg)
         log.info("running %s", key)
-        history = algo.run()
+        history = algo.run(**self._checkpoint_kwargs(key))
         history.meta.update(
             {
                 "setting": setting,
@@ -274,7 +291,7 @@ class ExperimentRunner:
             algo = cls(self.model_fn("resnet-20", dataset), fed, cfg)
             meta_models = {"resnet-20": num_clients}
         log.info("running multi-model %s", key)
-        history = algo.run()
+        history = algo.run(**self._checkpoint_kwargs(key, suffix="-multi"))
         history.meta.update({"setting": setting, "multi_model": meta_models, "scale": self.scale.name})
         self._runs[key] = history
         return history

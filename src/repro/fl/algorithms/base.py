@@ -25,12 +25,23 @@ comparisons differ only in the algorithm itself.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
+import hashlib
+import json
+import pathlib
 import time
+from collections import defaultdict
 from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.data.federated import FederatedDataset
+from repro.fl.checkpoint import (
+    RunCheckpoint,
+    load_run_checkpoint,
+    run_checkpoint_path,
+    save_run_checkpoint,
+)
 from repro.fl.comm import Channel, CommMeter
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.metrics import average_local_accuracy, evaluate_model
@@ -223,6 +234,25 @@ class FLAlgorithm:
         channel-decoded payloads in ``update.received``."""
         raise NotImplementedError
 
+    def server_state(self) -> dict:
+        """Algorithm state beyond the global model, for checkpointing.
+
+        Everything mutable that :meth:`aggregate` / :meth:`setup` /
+        :meth:`apply_client_update` carry across rounds must be returned
+        here (picklable, by value — copies, not aliases): SCAFFOLD's
+        control variates, FedOpt's server-optimizer moments, FedKEMF's
+        on-device local models, ... The base algorithm keeps nothing.
+
+        The loop state itself — sampler position, fault schedules, loader
+        shuffles — needs no capture: every stream is a pure function of
+        ``(seed, round, client)``, so replay after
+        :meth:`load_server_state` is bit-identical by construction.
+        """
+        return {}
+
+    def load_server_state(self, state: dict) -> None:
+        """Restore what :meth:`server_state` captured (inverse hook)."""
+
     def client_compute_model(self, cid: int) -> Module:
         """The model whose FLOPs dominate this client's local pass (drives
         the virtual clock). Baselines train the communicated model;
@@ -261,6 +291,12 @@ class FLAlgorithm:
         tasks = [(cid, self.client_payload(round_idx, cid)) for cid in active]
         work = functools.partial(self.client_work, round_idx)
         updates = rt.executor.run_round(work, tasks)
+        # Real worker deaths the executor could not recover from: the round
+        # proceeds without those clients, recorded like any injected fault.
+        crashed = rt.executor.last_round_failures
+        if crashed:
+            failures.update(crashed)
+            active = [cid for cid in active if cid not in crashed]
         for update in updates:
             self.apply_client_update(update)
 
@@ -346,6 +382,72 @@ class FLAlgorithm:
             sim_time_s=sim_time,
         )
 
+    # checkpoint / resume ------------------------------------------------ #
+
+    def config_fingerprint(self) -> str:
+        """Identity of everything that shapes the trajectory.
+
+        Two runs with the same fingerprint produce bit-identical histories;
+        a checkpoint only resumes into an algorithm with a matching one.
+        Execution-only knobs (``workers`` / ``executor``) are excluded —
+        the parity guarantee makes backends interchangeable, so a run may
+        be resumed under a different worker count or on another machine.
+        """
+        cfg = dataclasses.asdict(self.cfg)
+        for execution_only in ("workers", "executor"):
+            cfg.pop(execution_only, None)
+        payload = {
+            "algorithm": self.name,
+            "model": type(self.global_model).__name__,
+            "num_clients": self.fed.num_clients,
+            "config": cfg,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def make_checkpoint(self, history: RunHistory, next_round: int) -> RunCheckpoint:
+        """Snapshot the complete run state after ``next_round`` rounds."""
+        return RunCheckpoint(
+            algorithm=self.name,
+            fingerprint=self.config_fingerprint(),
+            next_round=next_round,
+            global_state=self.global_model.state_dict(),
+            server_state=self.server_state(),
+            meter_state={
+                "uplink": dict(self.meter.uplink),
+                "downlink": dict(self.meter.downlink),
+                "round_bytes": list(self.meter.round_bytes),
+            },
+            history=history.to_dict(),
+        )
+
+    def restore_checkpoint(self, ckpt: RunCheckpoint) -> "tuple[RunHistory, int]":
+        """Load a checkpoint into this algorithm; returns the partial
+        history and the index of the first round still to run."""
+        if ckpt.algorithm != self.name:
+            raise ValueError(
+                f"checkpoint was written by {ckpt.algorithm!r}; "
+                f"cannot resume into {self.name!r}"
+            )
+        fingerprint = self.config_fingerprint()
+        if ckpt.fingerprint != fingerprint:
+            raise ValueError(
+                "checkpoint/config mismatch: the checkpoint was written with "
+                f"fingerprint {ckpt.fingerprint}, this run has {fingerprint} "
+                "(algorithm, model, federation and all trajectory-shaping "
+                "config fields must be identical to resume)"
+            )
+        self.global_model.load_state_dict(ckpt.global_state)
+        self.load_server_state(ckpt.server_state)
+        meter = ckpt.meter_state
+        self.meter.uplink = defaultdict(int, {int(k): v for k, v in meter["uplink"].items()})
+        self.meter.downlink = defaultdict(int, {int(k): v for k, v in meter["downlink"].items()})
+        self.meter.round_bytes = list(meter["round_bytes"])
+        self.meter._current_round = len(self.meter.round_bytes) - 1
+        return RunHistory.from_dict(ckpt.history), int(ckpt.next_round)
+
     # driver ------------------------------------------------------------ #
 
     def select_clients(self, round_idx: int) -> list[int]:
@@ -353,31 +455,108 @@ class FLAlgorithm:
         n = self.runtime.provision(self.sampler.per_round, self.fed.num_clients)
         return self.sampler.sample_n(round_idx, n)
 
-    def run(self, rounds: int | None = None) -> RunHistory:
-        """Execute the round loop and return the measured history."""
+    def run(
+        self,
+        rounds: int | None = None,
+        *,
+        checkpoint_dir: "str | pathlib.Path | None" = None,
+        checkpoint_every: int = 1,
+        checkpoint_name: "str | None" = None,
+        resume_from: "RunCheckpoint | str | pathlib.Path | bool | None" = None,
+    ) -> RunHistory:
+        """Execute the round loop and return the measured history.
+
+        Parameters
+        ----------
+        rounds:
+            *Total* rounds the run should reach (default ``cfg.rounds``) —
+            a resumed run continues to the same target, not for ``rounds``
+            more.
+        checkpoint_dir:
+            When set, the complete run state is snapshotted into this
+            directory (atomically, one ``<name>.ckpt`` file overwritten in
+            place) every ``checkpoint_every`` rounds and after the final
+            round.
+        checkpoint_every:
+            Snapshot cadence in rounds (≥ 1).
+        checkpoint_name:
+            Checkpoint file stem; defaults to ``<algorithm>-seed<seed>``.
+        resume_from:
+            Where to continue from: a :class:`RunCheckpoint`, a path to a
+            ``.ckpt`` file, or ``True`` (= resume from this run's own
+            checkpoint in ``checkpoint_dir`` if one exists, else start
+            fresh — the crash-loop-friendly mode the CLI's ``--resume``
+            uses). Because every stochastic stream is pure in
+            ``(seed, round, client)``, an interrupted-and-resumed faulty
+            run replays bit-identically to an uninterrupted one.
+        """
         rounds = rounds if rounds is not None else self.cfg.rounds
-        history = RunHistory(
-            algorithm=self.name,
-            model=type(self.global_model).__name__,
-            num_clients=self.fed.num_clients,
-            sample_ratio=self.cfg.sample_ratio,
-        )
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1; got {checkpoint_every}")
+        ckpt_path: "pathlib.Path | None" = None
+        if checkpoint_dir is not None:
+            name = checkpoint_name or f"{self.name.lower()}-seed{self.cfg.seed}"
+            ckpt_path = run_checkpoint_path(checkpoint_dir, name)
+
+        history: "RunHistory | None" = None
+        start_round = 0
+        if resume_from is not None and resume_from is not False:
+            ckpt = self._resolve_resume(resume_from, ckpt_path)
+            if ckpt is not None:
+                history, start_round = self.restore_checkpoint(ckpt)
+                log.info(
+                    "%s: resumed from checkpoint at round %d/%d",
+                    self.name,
+                    start_round,
+                    rounds,
+                )
+        if history is None:
+            history = RunHistory(
+                algorithm=self.name,
+                model=type(self.global_model).__name__,
+                num_clients=self.fed.num_clients,
+                sample_ratio=self.cfg.sample_ratio,
+            )
         history.meta["runtime"] = {
             "executor": type(self.runtime.executor).__name__,
             "workers": self.runtime.executor.workers,
             "faults": self.cfg.faults,
             "deadline": self.cfg.deadline,
         }
-        try:
-            self._run_rounds(rounds, history)
-        finally:
-            # Releases pooled workers (PersistentParallelExecutor); pools
-            # re-arm lazily, so a later run() just forks fresh ones.
-            self.runtime.executor.close()
+        # Executors are context managers: pooled workers are released even
+        # when a round raises; pools re-arm lazily, so a later run() just
+        # forks fresh ones.
+        with self.runtime.executor:
+            self._run_rounds(
+                rounds,
+                history,
+                start_round=start_round,
+                checkpoint_path=ckpt_path,
+                checkpoint_every=checkpoint_every,
+            )
         return history
 
-    def _run_rounds(self, rounds: int, history: RunHistory) -> None:
-        for t in range(rounds):
+    @staticmethod
+    def _resolve_resume(
+        resume_from, default_path: "pathlib.Path | None"
+    ) -> "RunCheckpoint | None":
+        if isinstance(resume_from, RunCheckpoint):
+            return resume_from
+        if resume_from is True:
+            if default_path is None:
+                raise ValueError("resume_from=True requires checkpoint_dir")
+            return load_run_checkpoint(default_path) if default_path.exists() else None
+        return load_run_checkpoint(resume_from)
+
+    def _run_rounds(
+        self,
+        rounds: int,
+        history: RunHistory,
+        start_round: int = 0,
+        checkpoint_path: "pathlib.Path | None" = None,
+        checkpoint_every: int = 1,
+    ) -> None:
+        for t in range(start_round, rounds):
             start = time.perf_counter()
             self.meter.begin_round(t)
             selected = self.select_clients(t)
@@ -423,3 +602,9 @@ class FLAlgorithm:
                 participated,
                 len(selected),
             )
+            # Snapshot on the cadence and always after the final round, so a
+            # --resume of a completed run returns instantly.
+            if checkpoint_path is not None and (
+                (t + 1) % checkpoint_every == 0 or t + 1 == rounds
+            ):
+                save_run_checkpoint(self.make_checkpoint(history, t + 1), checkpoint_path)

@@ -82,6 +82,17 @@ class FedMD(FLAlgorithm):
         # consensus starts uninformative (zeros = uniform distribution)
         self.consensus = np.zeros((len(x), num_classes), dtype=np.float32)
 
+    def server_state(self) -> dict:
+        return {
+            "client_models": [m.state_dict() for m in self.client_models],
+            "consensus": self.consensus.copy(),
+        }
+
+    def load_server_state(self, state: dict) -> None:
+        for model, weights in zip(self.client_models, state["client_models"]):
+            model.load_state_dict(weights)
+        self.consensus = np.asarray(state["consensus"], dtype=np.float32).copy()
+
     def client_payload(self, round_idx: int, cid: int) -> dict:
         # consensus scores are the only downlink payload
         consensus = self.channel.download(cid, OrderedDict(scores=self.consensus))

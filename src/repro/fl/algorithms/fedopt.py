@@ -68,6 +68,15 @@ class FedAvgM(_FedOptBase):
     def setup(self) -> None:
         self._velocity: OrderedDict | None = None
 
+    def server_state(self) -> dict:
+        if self._velocity is None:
+            return {"velocity": None}
+        return {"velocity": OrderedDict((k, v.copy()) for k, v in self._velocity.items())}
+
+    def load_server_state(self, state: dict) -> None:
+        v = state["velocity"]
+        self._velocity = None if v is None else OrderedDict((k, a.copy()) for k, a in v.items())
+
     def _server_step(self, delta: OrderedDict) -> OrderedDict:
         if self._velocity is None:
             self._velocity = OrderedDict((k, np.zeros_like(v)) for k, v in delta.items())
@@ -90,6 +99,20 @@ class FedAdam(_FedOptBase):
         self._m: OrderedDict | None = None
         self._v: OrderedDict | None = None
         self._t = 0
+
+    def server_state(self) -> dict:
+        copy = lambda od: (
+            None if od is None else OrderedDict((k, v.copy()) for k, v in od.items())
+        )
+        return {"m": copy(self._m), "v": copy(self._v), "t": self._t}
+
+    def load_server_state(self, state: dict) -> None:
+        copy = lambda od: (
+            None if od is None else OrderedDict((k, v.copy()) for k, v in od.items())
+        )
+        self._m = copy(state["m"])
+        self._v = copy(state["v"])
+        self._t = int(state["t"])
 
     def _server_step(self, delta: OrderedDict) -> OrderedDict:
         if self._m is None:

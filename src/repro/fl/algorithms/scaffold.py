@@ -50,6 +50,26 @@ class Scaffold(FLAlgorithm):
         for tr in self.trainers:
             tr.momentum = 0.0
 
+    def server_state(self) -> dict:
+        return {
+            "server_control": OrderedDict(
+                (k, v.copy()) for k, v in self.server_control.items()
+            ),
+            "client_controls": {
+                cid: OrderedDict((k, v.copy()) for k, v in c.items())
+                for cid, c in self.client_controls.items()
+            },
+        }
+
+    def load_server_state(self, state: dict) -> None:
+        self.server_control = OrderedDict(
+            (k, v.copy()) for k, v in state["server_control"].items()
+        )
+        self.client_controls = {
+            int(cid): OrderedDict((k, v.copy()) for k, v in c.items())
+            for cid, c in state["client_controls"].items()
+        }
+
     def _control_for(self, cid: int) -> OrderedDict:
         if cid not in self.client_controls:
             self.client_controls[cid] = _zeros_like_params(self.global_model)

@@ -1,4 +1,5 @@
-"""Experiment persistence: run histories and model checkpoints on disk.
+"""Experiment persistence: run histories, model checkpoints and *resumable
+run state* on disk.
 
 Long FL sweeps (the `paper` scale runs for hours) need durable artifacts:
 
@@ -6,73 +7,106 @@ Long FL sweeps (the `paper` scale runs for hours) need durable artifacts:
   JSON (the exact series the tables/figures consume);
 - :func:`save_model` / :func:`load_model` — a module's state dict in the
   same versioned binary wire format the channel uses;
+- :class:`RunCheckpoint` + :func:`save_run_checkpoint` /
+  :func:`load_run_checkpoint` — the *complete* mid-schedule state of a run
+  (global model, algorithm server state, comm-meter ledger, partial
+  history, config fingerprint) so a crashed or killed run resumes
+  bit-identically (``FLAlgorithm.run(resume_from=...)``);
 - :class:`CheckpointManager` — a directory layout with one JSON + one
   weights file per run, plus a manifest for discovery.
+
+Every write in this module is **atomic**: content goes to a same-directory
+``*.tmp`` file first and is moved into place with ``os.replace``, so a
+SIGKILL mid-write can never leave a half-written manifest, history or
+checkpoint — the reader sees either the old version or the new one.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import pathlib
+import pickle
 from typing import Mapping
 
 import numpy as np
 
-from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.history import RunHistory
 from repro.nn.module import Module
 from repro.nn.serialization import dumps_state_dict, loads_state_dict
 
-__all__ = ["save_history", "load_history", "save_model", "load_model", "CheckpointManager"]
+__all__ = [
+    "save_history",
+    "load_history",
+    "save_model",
+    "load_model",
+    "RunCheckpoint",
+    "RUN_CHECKPOINT_VERSION",
+    "save_run_checkpoint",
+    "load_run_checkpoint",
+    "run_checkpoint_path",
+    "CheckpointManager",
+]
+
+
+# ---------------------------------------------------------------------- #
+# atomic writes
+# ---------------------------------------------------------------------- #
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` all-or-nothing.
+
+    The bytes land in a unique sibling ``*.tmp`` file (same directory, so
+    the final ``os.replace`` is an atomic same-filesystem rename) which is
+    fsynced before the rename; a crash at any instant leaves ``path``
+    either absent, fully old, or fully new — never truncated.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)  # only survives if the replace failed
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    _atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------- #
+# histories and weights
+# ---------------------------------------------------------------------- #
 
 
 def save_history(history: RunHistory, path: "str | pathlib.Path") -> pathlib.Path:
-    """Write a run history as pretty-printed JSON."""
+    """Write a run history as pretty-printed JSON (atomically)."""
     path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(history.to_dict(), indent=2))
+    _atomic_write_text(path, json.dumps(history.to_dict(), indent=2))
     return path
 
 
 def load_history(path: "str | pathlib.Path") -> RunHistory:
     """Reconstruct a :class:`RunHistory` written by :func:`save_history`."""
-    raw = json.loads(pathlib.Path(path).read_text())
-    history = RunHistory(
-        algorithm=raw["algorithm"],
-        model=raw["model"],
-        num_clients=raw["num_clients"],
-        sample_ratio=raw["sample_ratio"],
-        meta=dict(raw.get("meta", {})),
-    )
-    for r in raw["rounds"]:
-        history.append(
-            RoundRecord(
-                round_idx=r["round"],
-                accuracy=r["accuracy"],
-                loss=r["loss"],
-                cum_bytes=r["cum_bytes"],
-                round_bytes=r["round_bytes"],
-                num_selected=r["num_selected"],
-                local_accuracy=r.get("local_accuracy"),
-                wall_time=r.get("wall_time", 0.0),
-                num_sampled=r.get("num_sampled"),
-                num_failed=r.get("num_failed", 0),
-                failures={int(cid): reason for cid, reason in r.get("failures", {}).items()},
-                sim_time_s=r.get("sim_time_s", 0.0),
-            )
-        )
-    return history
+    return RunHistory.from_dict(json.loads(pathlib.Path(path).read_text()))
 
 
 def save_model(model_or_state: "Module | Mapping[str, np.ndarray]", path) -> pathlib.Path:
-    """Write a module's (or raw) state dict in the binary wire format."""
+    """Write a module's (or raw) state dict in the binary wire format
+    (atomically)."""
     state = (
         model_or_state.state_dict()
         if isinstance(model_or_state, Module)
         else model_or_state
     )
     path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(dumps_state_dict(state))
+    _atomic_write_bytes(path, dumps_state_dict(state))
     return path
 
 
@@ -85,6 +119,92 @@ def load_model(path, into: "Module | None" = None):
     return into
 
 
+# ---------------------------------------------------------------------- #
+# resumable run checkpoints
+# ---------------------------------------------------------------------- #
+
+RUN_CHECKPOINT_VERSION = 1
+_RUN_CHECKPOINT_MAGIC = b"RPCK"
+
+
+@dataclasses.dataclass
+class RunCheckpoint:
+    """Everything needed to continue a run from the top of round
+    ``next_round`` exactly as if it had never stopped.
+
+    Because every stochastic stream in the system is pure in
+    ``(seed, round, client)`` — client sampling, loader shuffles, fault
+    plans, distillation orders — no RNG state needs to be captured: the
+    snapshot is the *data* state only (models, optimizer moments, control
+    variates, ledgers), and replay from it is bit-identical.
+
+    Attributes
+    ----------
+    algorithm:
+        ``FLAlgorithm.name`` of the writer (sanity-checked on resume).
+    fingerprint:
+        ``FLAlgorithm.config_fingerprint()`` of the writer; resuming with
+        a different algorithm/model/config/federation raises.
+    next_round:
+        0-based index of the first round that has *not* run yet.
+    global_state:
+        The global model's state dict at the end of round ``next_round-1``.
+    server_state:
+        Algorithm-specific state from ``FLAlgorithm.server_state()``
+        (SCAFFOLD controls, server-optimizer moments, on-device local
+        models, ...). Opaque to this module; must be picklable.
+    meter_state:
+        The :class:`~repro.fl.comm.CommMeter` ledger (uplink/downlink
+        per-client totals and the per-round byte series).
+    history:
+        ``RunHistory.to_dict()`` of the rounds completed so far.
+    """
+
+    algorithm: str
+    fingerprint: str
+    next_round: int
+    global_state: Mapping[str, np.ndarray]
+    server_state: dict
+    meter_state: dict
+    history: dict
+    version: int = RUN_CHECKPOINT_VERSION
+
+
+def run_checkpoint_path(directory: "str | pathlib.Path", name: str) -> pathlib.Path:
+    """Canonical location of a named run checkpoint inside ``directory``."""
+    if "/" in name or name.startswith("."):
+        raise ValueError(f"invalid checkpoint name {name!r}")
+    return pathlib.Path(directory) / f"{name}.ckpt"
+
+
+def save_run_checkpoint(
+    ckpt: RunCheckpoint, path: "str | pathlib.Path"
+) -> pathlib.Path:
+    """Persist a :class:`RunCheckpoint` (atomic; safe to overwrite the
+    previous snapshot in place every ``checkpoint_every`` rounds)."""
+    payload = _RUN_CHECKPOINT_MAGIC + pickle.dumps(
+        dataclasses.asdict(ckpt), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    path = pathlib.Path(path)
+    _atomic_write_bytes(path, payload)
+    return path
+
+
+def load_run_checkpoint(path: "str | pathlib.Path") -> RunCheckpoint:
+    """Read a checkpoint written by :func:`save_run_checkpoint`."""
+    payload = pathlib.Path(path).read_bytes()
+    if payload[: len(_RUN_CHECKPOINT_MAGIC)] != _RUN_CHECKPOINT_MAGIC:
+        raise ValueError(f"{path} is not a repro run checkpoint (bad magic)")
+    raw = pickle.loads(payload[len(_RUN_CHECKPOINT_MAGIC) :])
+    version = raw.get("version")
+    if version != RUN_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported run-checkpoint version {version!r} "
+            f"(this build reads v{RUN_CHECKPOINT_VERSION})"
+        )
+    return RunCheckpoint(**raw)
+
+
 class CheckpointManager:
     """One directory per experiment sweep.
 
@@ -94,6 +214,10 @@ class CheckpointManager:
           manifest.json              # run name → files + headline numbers
           <name>.history.json
           <name>.weights.bin
+          <name>.ckpt                # resumable mid-run state (optional)
+
+    All writes (including the manifest) are atomic, so a killed process
+    never corrupts the sweep directory.
     """
 
     def __init__(self, root: "str | pathlib.Path") -> None:
@@ -107,14 +231,22 @@ class CheckpointManager:
         return {}
 
     def _write_manifest(self, manifest: dict) -> None:
-        self._manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        _atomic_write_text(
+            self._manifest_path, json.dumps(manifest, indent=2, sort_keys=True)
+        )
+
+    def _update_entry(self, name: str, **fields) -> None:
+        manifest = self._read_manifest()
+        entry = manifest.setdefault(name, {})
+        entry.update(fields)
+        self._write_manifest(manifest)
 
     def save(self, name: str, history: RunHistory, model: "Module | None" = None) -> None:
         """Persist one run (history always; weights when a model is given)."""
         if "/" in name or name.startswith("."):
             raise ValueError(f"invalid checkpoint name {name!r}")
         save_history(history, self.root / f"{name}.history.json")
-        entry = {
+        fields = {
             "history": f"{name}.history.json",
             "algorithm": history.algorithm,
             "rounds": history.num_rounds,
@@ -123,17 +255,33 @@ class CheckpointManager:
         }
         if model is not None:
             save_model(model, self.root / f"{name}.weights.bin")
-            entry["weights"] = f"{name}.weights.bin"
-        manifest = self._read_manifest()
-        manifest[name] = entry
-        self._write_manifest(manifest)
+            fields["weights"] = f"{name}.weights.bin"
+        self._update_entry(name, **fields)
+
+    def save_run_checkpoint(self, name: str, ckpt: RunCheckpoint) -> pathlib.Path:
+        """Persist mid-run state for ``name`` and track it in the manifest."""
+        path = run_checkpoint_path(self.root, name)
+        save_run_checkpoint(ckpt, path)
+        self._update_entry(
+            name,
+            checkpoint=path.name,
+            algorithm=ckpt.algorithm,
+            next_round=ckpt.next_round,
+        )
+        return path
+
+    def load_run_checkpoint(self, name: str) -> RunCheckpoint:
+        entry = self._read_manifest().get(name)
+        if entry is None or "checkpoint" not in entry:
+            raise KeyError(f"no run checkpoint for {name!r}")
+        return load_run_checkpoint(self.root / entry["checkpoint"])
 
     def runs(self) -> list[str]:
         return sorted(self._read_manifest())
 
     def load_history(self, name: str) -> RunHistory:
         entry = self._read_manifest().get(name)
-        if entry is None:
+        if entry is None or "history" not in entry:
             raise KeyError(f"no checkpointed run named {name!r}")
         return load_history(self.root / entry["history"])
 
@@ -144,14 +292,23 @@ class CheckpointManager:
         return load_model(self.root / entry["weights"], into)
 
     def summary(self) -> str:
-        """Human-readable index of stored runs."""
+        """Human-readable index of stored runs.
+
+        Tolerates manifest entries written by older versions (or by
+        :meth:`save_run_checkpoint` alone) that lack headline fields.
+        """
         manifest = self._read_manifest()
         lines = [f"checkpoints in {self.root} ({len(manifest)} runs)"]
         for name in sorted(manifest):
             e = manifest[name]
-            acc = f"{e['final_accuracy']:.2%}" if e["final_accuracy"] is not None else "—"
+            acc_v = e.get("final_accuracy")
+            acc = f"{acc_v:.2%}" if acc_v is not None else "—"
+            algo = e.get("algorithm", "?")
+            rounds = e.get("rounds", e.get("next_round", 0))
+            tail = f"bytes={e['total_bytes']}" if "total_bytes" in e else "bytes=—"
+            if "checkpoint" in e:
+                tail += f" resumable@r{e.get('next_round', '?')}"
             lines.append(
-                f"  {name:30s} {e['algorithm']:9s} rounds={e['rounds']:<4d} "
-                f"final={acc} bytes={e['total_bytes']}"
+                f"  {name:30s} {algo:9s} rounds={rounds:<4d} final={acc} {tail}"
             )
         return "\n".join(lines)

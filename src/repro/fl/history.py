@@ -22,7 +22,8 @@ class RoundRecord:
     ``num_selected`` counts the clients whose updates were *aggregated*
     (participation); under the fault-injecting runtime that can be fewer
     than ``num_sampled``. ``failures`` maps client id → failure reason
-    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus``) and
+    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus``, plus
+    ``worker-crash`` when a real executor worker died beyond recovery) and
     ``sim_time_s`` is the virtual-clock round time (0 when the runtime is
     not simulating time).
     """
@@ -124,6 +125,37 @@ class RunHistory:
             return 0.0
         per = [r.round_bytes / max(r.num_selected, 1) for r in self.records]
         return float(np.mean(per)) / 1e6
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RunHistory":
+        """Inverse of :meth:`to_dict` (checkpoint and JSON loading)."""
+        history = cls(
+            algorithm=raw["algorithm"],
+            model=raw["model"],
+            num_clients=raw["num_clients"],
+            sample_ratio=raw["sample_ratio"],
+            meta=dict(raw.get("meta", {})),
+        )
+        for r in raw.get("rounds", []):
+            history.append(
+                RoundRecord(
+                    round_idx=r["round"],
+                    accuracy=r["accuracy"],
+                    loss=r["loss"],
+                    cum_bytes=r["cum_bytes"],
+                    round_bytes=r["round_bytes"],
+                    num_selected=r["num_selected"],
+                    local_accuracy=r.get("local_accuracy"),
+                    wall_time=r.get("wall_time", 0.0),
+                    num_sampled=r.get("num_sampled"),
+                    num_failed=r.get("num_failed", 0),
+                    failures={
+                        int(cid): reason for cid, reason in r.get("failures", {}).items()
+                    },
+                    sim_time_s=r.get("sim_time_s", 0.0),
+                )
+            )
+        return history
 
     def to_dict(self) -> dict:
         """Plain-dict export (JSON-serializable) for logging/analysis."""

@@ -41,7 +41,9 @@ class RoundOutcome:
     ``failures`` maps client id → reason: ``"dropout"`` (never started),
     ``"uplink-lost"`` (all retransmissions lost), ``"deadline"`` (finished
     after the round deadline), ``"surplus"`` (on time, but the server had
-    already accepted its target K — over-provisioning headroom).
+    already accepted its target K — over-provisioning headroom), or
+    ``"worker-crash"`` (a real executor worker died and retries on fresh
+    pools were exhausted — the one reason that is *not* injected).
     """
 
     round_idx: int

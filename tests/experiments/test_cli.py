@@ -28,6 +28,16 @@ class TestParser:
         assert args.seed == 0
         assert args.out is None
 
+    def test_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--checkpoint-dir", "ck", "--checkpoint-every", "5", "--resume"]
+        )
+        assert str(args.checkpoint_dir) == "ck"
+        assert args.checkpoint_every == 5
+        assert args.resume is True
+        bare = build_parser().parse_args(["table1"])
+        assert bare.checkpoint_dir is None and bare.resume is False
+
 
 class TestListCommand:
     def test_list_prints_index(self, capsys):

@@ -4,7 +4,14 @@ import os
 
 import pytest
 
-from repro.experiments.configs import CLIENT_SETTINGS, SCALES, get_scale, scaled_clients, scaled_target
+from repro.experiments.configs import (
+    CLIENT_SETTINGS,
+    SCALES,
+    checkpoint_defaults,
+    get_scale,
+    scaled_clients,
+    scaled_target,
+)
 
 
 class TestScales:
@@ -62,3 +69,26 @@ class TestGetScale:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert scaled_clients("30") == SCALES["smoke"].clients["30"]
         assert scaled_target("100") == SCALES["smoke"].targets["100"]
+
+
+class TestCheckpointDefaults:
+    def test_disabled_without_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.setenv("REPRO_RESUME", "1")  # meaningless without a dir
+        assert checkpoint_defaults() == {}
+
+    def test_full_plumbing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", "/tmp/sweep")
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "5")
+        monkeypatch.setenv("REPRO_RESUME", "true")
+        assert checkpoint_defaults() == {
+            "checkpoint_dir": "/tmp/sweep",
+            "checkpoint_every": 5,
+            "resume_from": True,
+        }
+
+    def test_dir_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", "/tmp/sweep")
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        monkeypatch.delenv("REPRO_RESUME", raising=False)
+        assert checkpoint_defaults() == {"checkpoint_dir": "/tmp/sweep"}

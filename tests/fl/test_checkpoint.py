@@ -1,14 +1,24 @@
-"""Persistence round trips."""
+"""Persistence round trips, atomicity under simulated crashes, and the
+resumable RunCheckpoint format."""
+
+import json
+import os
 
 import numpy as np
 import pytest
 
+from repro.fl import checkpoint as ckpt_mod
 from repro.fl.checkpoint import (
+    RUN_CHECKPOINT_VERSION,
     CheckpointManager,
+    RunCheckpoint,
     load_history,
     load_model,
+    load_run_checkpoint,
+    run_checkpoint_path,
     save_history,
     save_model,
+    save_run_checkpoint,
 )
 from repro.fl.history import RoundRecord, RunHistory
 from repro.nn.models import MLP
@@ -101,3 +111,127 @@ class TestManager:
     def test_manifest_survives_reopen(self, tmp_path):
         CheckpointManager(tmp_path).save("r1", make_history())
         assert CheckpointManager(tmp_path).runs() == ["r1"]
+
+    def test_summary_tolerates_legacy_entries(self, tmp_path):
+        """Manifests written by older versions (or by save_run_checkpoint
+        alone) lack final_accuracy/total_bytes — summary must not KeyError."""
+        mgr = CheckpointManager(tmp_path)
+        mgr.save("full", make_history())
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["legacy"] = {"history": "legacy.history.json"}
+        manifest["mid-run"] = {"checkpoint": "mid-run.ckpt", "next_round": 7}
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        text = mgr.summary()
+        assert "legacy" in text and "mid-run" in text
+        assert "resumable@r7" in text
+
+
+def make_run_checkpoint(next_round=3):
+    return RunCheckpoint(
+        algorithm="FedAvg",
+        fingerprint="deadbeefdeadbeef",
+        next_round=next_round,
+        global_state={"w": np.arange(6, dtype=np.float32).reshape(2, 3)},
+        server_state={"velocity": None},
+        meter_state={"uplink": {0: 10}, "downlink": {0: 20}, "round_bytes": [30]},
+        history=make_history(next_round).to_dict(),
+    )
+
+
+class TestRunCheckpointFormat:
+    def test_round_trip(self, tmp_path):
+        ckpt = make_run_checkpoint()
+        path = save_run_checkpoint(ckpt, tmp_path / "run.ckpt")
+        back = load_run_checkpoint(path)
+        assert back.algorithm == ckpt.algorithm
+        assert back.fingerprint == ckpt.fingerprint
+        assert back.next_round == ckpt.next_round
+        assert back.version == RUN_CHECKPOINT_VERSION
+        np.testing.assert_array_equal(back.global_state["w"], ckpt.global_state["w"])
+        assert back.meter_state == ckpt.meter_state
+        assert back.history == ckpt.history
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "junk.ckpt"
+        p.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="magic"):
+            load_run_checkpoint(p)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        ckpt = make_run_checkpoint()
+        ckpt.version = RUN_CHECKPOINT_VERSION + 1
+        path = save_run_checkpoint(ckpt, tmp_path / "future.ckpt")
+        with pytest.raises(ValueError, match="version"):
+            load_run_checkpoint(path)
+
+    def test_path_helper_rejects_traversal(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_checkpoint_path(tmp_path, "../evil")
+        with pytest.raises(ValueError):
+            run_checkpoint_path(tmp_path, ".hidden")
+        assert run_checkpoint_path(tmp_path, "ok").name == "ok.ckpt"
+
+    def test_manager_tracks_checkpoints(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        ckpt = make_run_checkpoint(next_round=5)
+        mgr.save_run_checkpoint("run", ckpt)
+        back = mgr.load_run_checkpoint("run")
+        assert back.next_round == 5
+        with pytest.raises(KeyError):
+            mgr.load_run_checkpoint("absent")
+
+
+class TestAtomicity:
+    """A crash at the worst possible instant leaves the old file intact."""
+
+    def _crash_on_replace(self, monkeypatch):
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(ckpt_mod.os, "replace", exploding_replace)
+
+    def test_history_survives_crashed_rewrite(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.json"
+        save_history(make_history(3), path)
+        before = path.read_bytes()
+        self._crash_on_replace(monkeypatch)
+        with pytest.raises(OSError):
+            save_history(make_history(5), path)
+        assert path.read_bytes() == before  # old version intact
+        assert list(tmp_path.glob("*.tmp")) == []  # no debris
+
+    def test_run_checkpoint_survives_crashed_rewrite(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.ckpt"
+        save_run_checkpoint(make_run_checkpoint(2), path)
+        self._crash_on_replace(monkeypatch)
+        with pytest.raises(OSError):
+            save_run_checkpoint(make_run_checkpoint(4), path)
+        assert load_run_checkpoint(path).next_round == 2
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_manifest_survives_crashed_update(self, tmp_path, monkeypatch):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save("first", make_history())
+        self._crash_on_replace(monkeypatch)
+        with pytest.raises(OSError):
+            mgr.save("second", make_history())
+        monkeypatch.undo()
+        # the manifest is still valid JSON listing only the completed save
+        assert CheckpointManager(tmp_path).runs() == ["first"]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_interrupted_write_never_partial(self, tmp_path, monkeypatch):
+        """Even a crash *during* the temp write leaves no partial target."""
+        path = tmp_path / "run.json"
+
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            real_fsync(fd)
+            raise OSError("simulated power loss")
+
+        monkeypatch.setattr(ckpt_mod.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            save_history(make_history(), path)
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
