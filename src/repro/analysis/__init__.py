@@ -1,0 +1,29 @@
+"""repro.analysis — project-specific static analysis (``reprolint``).
+
+Mechanizes the contracts the reproduction's headline guarantees rest on:
+nothing draws hidden entropy (paired Table 1–3 comparisons), no wall-clock
+value feeds recorded state (bit-identical checkpoint resume), shared cache
+entries stay frozen (the PR-2 aliasing bug class), autograd ops always
+register a backward, and every algorithm's mutable server state is
+checkpointable and picklable (the PR-3 drift bug class and the executor
+process boundary).
+
+Run it as ``python -m repro.analysis`` (installed alias: ``reprolint``);
+see DESIGN.md §"Static analysis" for the rule table and
+``# reprolint: allow[CODE]`` escape hatch.
+"""
+
+from repro.analysis.config import AnalysisConfig, PathScope
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.rules import ALL_RULES, AST_RULES, RULES_BY_CODE, Violation
+
+__all__ = [
+    "AnalysisConfig",
+    "PathScope",
+    "LintResult",
+    "lint_paths",
+    "Violation",
+    "ALL_RULES",
+    "AST_RULES",
+    "RULES_BY_CODE",
+]

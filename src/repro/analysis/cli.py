@@ -1,0 +1,118 @@
+"""The ``reprolint`` command line (``python -m repro.analysis``).
+
+Exit codes: 0 clean, 1 violations found, 2 usage or internal error —
+the same convention the CI lint job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import lint_paths
+from repro.analysis.formatters import FORMATTERS
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_PATHS = ["src/repro", "benchmarks", "examples"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Project-specific static analysis for the FedKEMF reproduction: "
+            "mechanizes the determinism, autograd and checkpoint contracts "
+            "the paired-comparison and resume guarantees rest on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=_DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="output format (github emits ::error workflow annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. RPL101,RPL102)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip the reflection contract pass over the algorithm registry",
+    )
+    parser.add_argument(
+        "--contracts-only",
+        action="store_true",
+        help="run only the registry contract pass (no file linting)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code, name and the invariant it guards",
+    )
+    return parser
+
+
+def _parse_codes(raw: "str | None") -> "frozenset[str] | None":
+    if raw is None:
+        return None
+    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}  [{rule.kind}]")
+            print(f"       {rule.invariant}")
+        return 0
+
+    config = AnalysisConfig.default()
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore) or frozenset()
+    known = {rule.code for rule in ALL_RULES}
+    for code in (select or frozenset()) | ignore:
+        if code not in known:
+            print(f"reprolint: unknown rule code {code!r}", file=sys.stderr)
+            return 2
+    config = config.with_overrides(
+        select=select,
+        ignore=ignore,
+        run_contracts=not args.no_contracts,
+    )
+
+    try:
+        if args.contracts_only:
+            from repro.analysis.contracts import run_contract_checks
+            from repro.analysis.engine import LintResult
+
+            result = LintResult(violations=run_contract_checks())
+        else:
+            result = lint_paths(args.paths, config=config)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    print(FORMATTERS[args.format](result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

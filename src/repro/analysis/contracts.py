@@ -1,0 +1,268 @@
+"""Reflection-based contract checks over the live algorithm registry.
+
+Static rules can prove a file never *calls* the global RNG; they cannot
+prove that FedKEMF's ``client_payload`` pickles, that SCAFFOLD's
+``server_state`` survives a round trip through ``load_server_state``, or
+that a config fingerprint really ignores execution-only knobs. This pass
+imports the registry, instantiates every algorithm against a tiny
+synthetic federation (4 clients, 8x8 single-channel images, a
+quarter-width MLP — milliseconds, no training), and exercises exactly the
+operations the runtime performs:
+
+- RPL901: the downlink payload must pickle (parallel executors fork and
+  ship it across a process boundary);
+- RPL902: the algorithm object itself must pickle (the persistent worker
+  pool ships a pickled round-start snapshot of the whole algorithm);
+- RPL903: ``server_state`` → pickle → ``load_server_state`` →
+  ``server_state`` must reproduce the original state (else checkpoints
+  drift on resume);
+- RPL904: ``config_fingerprint`` must be invariant under worker-count /
+  executor changes (resume-anywhere is part of the checkpoint contract).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import pathlib
+import pickle
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.analysis.rules.base import Rule, Violation
+
+__all__ = [
+    "CONTRACT_RULES",
+    "PayloadPicklable",
+    "AlgorithmPicklable",
+    "ServerStateRoundTrip",
+    "FingerprintExecutionFree",
+    "algorithm_entries",
+    "run_contract_checks",
+]
+
+
+def _class_location(cls: type) -> tuple[str, int]:
+    """Best-effort (repo-relative path, line) of an algorithm class."""
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    try:
+        rel = pathlib.Path(path).resolve().relative_to(pathlib.Path.cwd())
+        return rel.as_posix(), line
+    except ValueError:
+        return path, line
+
+
+def _deep_equal(a, b) -> bool:
+    """Structural equality that understands numpy arrays."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_deep_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_deep_equal(x, y) for x, y in zip(a, b))
+    return type(a) is type(b) and a == b
+
+
+def _tiny_harness():
+    """A federation small enough that instantiating 10 algorithms is fast."""
+    from repro.data.federated import build_federated_dataset
+    from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+    from repro.fl.algorithms.base import FLConfig
+    from repro.nn.models import build_model
+
+    spec = SyntheticSpec(num_classes=4, channels=1, image_size=8, noise_std=0.25)
+    world = SyntheticImageDataset(spec, seed=0)
+    fed = build_federated_dataset(
+        world, num_clients=4, n_train=64, n_test=16, n_public=16, alpha=0.5, seed=0
+    )
+    model_fn = functools.partial(
+        build_model,
+        "mlp",
+        num_classes=4,
+        in_channels=1,
+        image_size=8,
+        width_mult=0.25,
+        seed=1,
+    )
+    cfg = FLConfig(
+        rounds=1, sample_ratio=0.5, local_epochs=1, batch_size=8, seed=0, distill_epochs=1
+    )
+    return fed, model_fn, cfg
+
+
+def algorithm_entries(registry=None) -> list[tuple[str, type]]:
+    """Registered (name, class) pairs, aliases deduplicated."""
+    if registry is None:
+        # Importing these modules populates the registry with the full set
+        # (baselines + the paper algorithms).
+        import repro.core.fedkd  # noqa: F401  (registers FedKD)
+        import repro.core.fedkemf  # noqa: F401  (registers FedKEMF)
+        import repro.fl.algorithms  # noqa: F401  (registers the baselines)
+        from repro.fl.algorithms.base import ALGORITHM_REGISTRY
+
+        registry = ALGORITHM_REGISTRY
+    entries: list[tuple[str, type]] = []
+    seen: set[int] = set()
+    for name in registry:
+        cls = registry.get(name)
+        if id(cls) in seen:
+            continue
+        seen.add(id(cls))
+        entries.append((name, cls))
+    return entries
+
+
+class ContractRule(Rule):
+    kind = "contract"
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def check(self, module) -> Iterable[Violation]:  # pragma: no cover - contract rules
+        return ()
+
+    def fail(self, cls: type, message: str) -> Violation:
+        path, line = _class_location(cls)
+        return Violation(path=path, line=line, col=0, code=self.code, message=message)
+
+
+class PayloadPicklable(ContractRule):
+    code = "RPL901"
+    name = "payload-picklable"
+    invariant = (
+        "client_payload() output pickles — the parallel executors ship it "
+        "across a process boundary"
+    )
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        try:
+            pickle.dumps(algo.client_payload(0, 0), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the lint
+            yield self.fail(
+                cls, f"{name}: client_payload(0, 0) does not pickle ({exc!r})"
+            )
+
+
+class AlgorithmPicklable(ContractRule):
+    code = "RPL902"
+    name = "algorithm-picklable"
+    invariant = (
+        "the algorithm object pickles — PersistentParallelExecutor ships a "
+        "pickled round-start snapshot of the whole algorithm each round"
+    )
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        try:
+            pickle.dumps(algo, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001
+            yield self.fail(
+                cls,
+                f"{name}: the algorithm instance does not pickle ({exc!r}); "
+                "the persistent executor will fall back to per-round forks",
+            )
+
+
+class ServerStateRoundTrip(ContractRule):
+    code = "RPL903"
+    name = "server-state-roundtrip"
+    invariant = (
+        "server_state() pickles and load_server_state(server_state()) "
+        "reproduces it exactly — the checkpoint/resume identity"
+    )
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        try:
+            state = algo.server_state()
+            restored = pickle.loads(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+            algo.load_server_state(restored)
+            state2 = algo.server_state()
+        except Exception as exc:  # noqa: BLE001
+            yield self.fail(
+                cls, f"{name}: server_state round trip raised ({exc!r})"
+            )
+            return
+        if not _deep_equal(state, state2):
+            yield self.fail(
+                cls,
+                f"{name}: server_state() after load_server_state(server_state()) "
+                "differs from the original — resumed runs will drift",
+            )
+
+
+class FingerprintExecutionFree(ContractRule):
+    code = "RPL904"
+    name = "fingerprint-execution-free"
+    invariant = (
+        "config_fingerprint() ignores execution-only knobs (workers/"
+        "executor) so a checkpoint resumes under any backend"
+    )
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        original_cfg = algo.cfg
+        try:
+            baseline = algo.config_fingerprint()
+            algo.cfg = original_cfg.with_overrides(workers=3, executor="persistent")
+            shifted = algo.config_fingerprint()
+        except Exception as exc:  # noqa: BLE001
+            yield self.fail(cls, f"{name}: config_fingerprint raised ({exc!r})")
+            return
+        finally:
+            algo.cfg = original_cfg
+        if baseline != shifted:
+            yield self.fail(
+                cls,
+                f"{name}: config_fingerprint changes with workers/executor; "
+                "checkpoints from this algorithm cannot resume on a "
+                "different backend",
+            )
+
+
+CONTRACT_RULES: tuple[ContractRule, ...] = (
+    PayloadPicklable(),
+    AlgorithmPicklable(),
+    ServerStateRoundTrip(),
+    FingerprintExecutionFree(),
+)
+
+
+def run_contract_checks(
+    entries: "list[tuple[str, type]] | None" = None,
+    rules: "tuple[ContractRule, ...]" = CONTRACT_RULES,
+) -> list[Violation]:
+    """Instantiate every registered algorithm once and run all contracts."""
+    if entries is None:
+        entries = algorithm_entries()
+    fed, model_fn, cfg = _tiny_harness()
+    violations: list[Violation] = []
+    for name, cls in entries:
+        try:
+            algo = cls(model_fn, fed, cfg)
+        except Exception as exc:  # noqa: BLE001
+            path, line = _class_location(cls)
+            violations.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=0,
+                    code="RPL901",
+                    message=(
+                        f"{name}: could not instantiate with the standard "
+                        f"(model_fn, fed, config) signature ({exc!r}); the "
+                        "experiment runner and executors rely on it"
+                    ),
+                )
+            )
+            continue
+        for rule in rules:
+            violations.extend(rule.run(name, cls, algo))
+    return violations

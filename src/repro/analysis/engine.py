@@ -1,0 +1,130 @@
+"""The lint engine: discover files, parse once, run every applicable rule.
+
+Each file is parsed a single time into a :class:`SourceModule`; all AST
+rules share that tree. Pragmas suppress per line, path scopes gate per
+rule, and the optional contract pass (reflection over the algorithm
+registry) appends its findings at the end. A file that does not parse is
+itself a finding (``RPL001``) rather than a crash — the linter runs in CI
+over trees it did not write.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import AST_RULES, SourceModule, Violation
+from repro.analysis.rules.base import collect_aliases
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths"]
+
+PARSE_ERROR_CODE = "RPL001"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation found."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Sequence["str | pathlib.Path"]) -> Iterator[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            candidates: Iterable[pathlib.Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for p in candidates:
+            resolved = p.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield p
+
+
+def _display_path(path: pathlib.Path, root: "pathlib.Path | None") -> str:
+    base = (root or pathlib.Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _load(path: pathlib.Path, display: str) -> "SourceModule | Violation":
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Violation(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return SourceModule(
+        path=path,
+        display=display,
+        source=source,
+        tree=tree,
+        aliases=collect_aliases(tree),
+    )
+
+
+def lint_paths(
+    paths: Sequence["str | pathlib.Path"],
+    config: "AnalysisConfig | None" = None,
+    root: "pathlib.Path | None" = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) under ``config``."""
+    config = config if config is not None else AnalysisConfig.default()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        display = _display_path(path, root)
+        loaded = _load(path, display)
+        if isinstance(loaded, Violation):
+            result.violations.append(loaded)
+            result.files_checked += 1
+            continue
+        pragmas = parse_pragmas(loaded.source)
+        if pragmas.skip_file:
+            continue
+        result.files_checked += 1
+        for rule in AST_RULES:
+            if not config.rule_enabled(rule.code):
+                continue
+            if not config.rule_applies(rule.code, display):
+                continue
+            for violation in rule.check(loaded):
+                if pragmas.suppresses(violation.line, violation.code):
+                    result.suppressed += 1
+                else:
+                    result.violations.append(violation)
+    if config.run_contracts:
+        from repro.analysis.contracts import CONTRACT_RULES, run_contract_checks
+
+        enabled = tuple(r for r in CONTRACT_RULES if config.rule_enabled(r.code))
+        if enabled:
+            result.violations.extend(run_contract_checks(rules=enabled))
+    result.violations.sort()
+    return result

@@ -1,0 +1,120 @@
+"""Rule plumbing shared by every reprolint check.
+
+A rule is a small object with an identity (``code`` like ``RPL102``, a
+kebab-case ``name``, the invariant it guards) and a ``check`` method that
+yields :class:`Violation` records. AST rules receive one parsed
+:class:`SourceModule` per file; contract rules (``kind = "contract"``) run
+once per lint invocation against the live, imported codebase instead of
+file-by-file (see :mod:`repro.analysis.contracts`).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "Violation",
+    "SourceModule",
+    "Rule",
+    "AstRule",
+    "collect_aliases",
+    "dotted_name",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and what invariant it breaks."""
+
+    path: str  # repo-relative display path
+    line: int  # 1-based
+    col: int  # 0-based, as in the ast module
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed file, shared by all AST rules so parsing happens once."""
+
+    path: pathlib.Path  # absolute location on disk
+    display: str  # repo-relative posix path used in reports
+    source: str
+    tree: ast.Module
+    aliases: dict[str, str]  # local name -> dotted import target
+
+
+def collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted import paths they refer to.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from numpy.random import
+    default_rng as drng`` binds ``drng -> numpy.random.default_rng``. The
+    whole module is walked, so imports inside functions resolve too.
+    Relative imports are skipped (nothing in the rule tables matches them).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    head = a.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve ``np.random.default_rng`` → ``numpy.random.default_rng``.
+
+    Returns ``None`` for expressions that are not plain attribute chains
+    rooted at a name (calls, subscripts, ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class: identity + the invariant this check mechanizes."""
+
+    code: str = "RPL000"
+    name: str = "unnamed"
+    kind: str = "ast"  # "ast" (per-file) or "contract" (per-invocation)
+    invariant: str = ""  # one line: what must hold, shown by --list-rules
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: SourceModule, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+class AstRule(Rule):
+    """Marker base for per-file AST rules (all rules except contracts)."""
+
+    kind = "ast"

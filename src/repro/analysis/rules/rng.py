@@ -1,0 +1,134 @@
+"""Determinism rules: no hidden entropy sources.
+
+Every stochastic stream in this repo must be a pure function of
+``(seed, round, client)`` (see ``utils/rng.py``) — that is what makes the
+paired Table 1–3 comparisons, fault-injection replay, and bit-identical
+checkpoint resume valid. These rules flag the three ways ambient entropy
+sneaks in: the legacy global NumPy RNG, zero-argument
+``np.random.default_rng()``, and the stdlib ``random`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.rules.base import AstRule, SourceModule, Violation, dotted_name
+
+__all__ = ["GlobalNumpyRng", "UnseededDefaultRng", "StdlibRandom"]
+
+# Module-level functions of numpy.random that draw from (or reseed) the
+# hidden global RandomState. Methods on an explicit Generator share these
+# names; resolution through the import table keeps them apart.
+_GLOBAL_STATE_FUNCS = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "multinomial",
+        "dirichlet",
+    }
+)
+
+
+class GlobalNumpyRng(AstRule):
+    """``np.random.rand(...)``-style calls mutate process-global state."""
+
+    code = "RPL101"
+    name = "numpy-global-rng"
+    invariant = (
+        "nothing draws from (or reseeds) the global NumPy RNG; all sampling "
+        "goes through an explicit seeded Generator (utils.rng.new_rng)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = dotted_name(node.func, module.aliases)
+            if qn is None or not qn.startswith("numpy.random."):
+                continue
+            func = qn.rsplit(".", 1)[1]
+            if func in _GLOBAL_STATE_FUNCS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"call to numpy.random.{func} uses the process-global RNG; "
+                    "draw from an explicit generator (utils.rng.new_rng) instead",
+                )
+
+
+class UnseededDefaultRng(AstRule):
+    """Zero-argument ``default_rng()`` silently breaks replayability."""
+
+    code = "RPL102"
+    name = "unseeded-default-rng"
+    invariant = (
+        "every Generator is constructed from a derived seed; an OS-entropy "
+        "default_rng() makes runs unreproducible and resume non-bit-identical"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = dotted_name(node.func, module.aliases)
+            if qn != "numpy.random.default_rng":
+                continue
+            if not node.args and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    "np.random.default_rng() with no seed draws OS entropy; "
+                    "route through utils.rng.new_rng / derive_seed",
+                )
+
+
+class StdlibRandom(AstRule):
+    """The stdlib ``random`` module is one more hidden global stream."""
+
+    code = "RPL103"
+    name = "stdlib-random"
+    invariant = (
+        "the stdlib random module (a second process-global stream, not "
+        "covered by the NumPy seeding discipline) is never imported"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "random" or a.name.startswith("random."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "stdlib 'random' imported; use numpy Generators "
+                            "from utils.rng so every stream is seed-derived",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.violation(
+                        module,
+                        node,
+                        "import from stdlib 'random'; use numpy Generators "
+                        "from utils.rng so every stream is seed-derived",
+                    )

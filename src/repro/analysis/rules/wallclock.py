@@ -1,0 +1,60 @@
+"""Wall-clock rule: recorded metrics must not read the machine's clock.
+
+``RunHistory`` feeds checkpoints and the paper's tables; anything inside
+``src/repro`` that reads civil time would make two identical runs produce
+different recorded state (the PR-3 resume tests compare histories minus
+the one sanctioned ``wall_time`` field, which is measured with
+``time.perf_counter`` and excluded from ``RunHistory.fingerprint()``).
+Durations → ``time.perf_counter``; simulated time → the runtime's
+``VirtualClock``. This rule is path-scoped to ``src/repro`` by default:
+benchmarks and examples legitimately report wall timings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.rules.base import AstRule, SourceModule, Violation, dotted_name
+
+__all__ = ["WallClockCall"]
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockCall(AstRule):
+    """Civil-time reads inside the library's algorithm/kernel paths."""
+
+    code = "RPL201"
+    name = "wall-clock-call"
+    invariant = (
+        "library code never reads civil time: durations use "
+        "time.perf_counter, simulated time uses runtime.VirtualClock, and "
+        "no wall-clock value feeds RunHistory fingerprints or checkpoints"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = dotted_name(node.func, module.aliases)
+            if qn in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock read {qn}(); use time.perf_counter for "
+                    "durations or the runtime VirtualClock for simulated time",
+                )

@@ -8,6 +8,8 @@ accuracy.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -125,6 +127,24 @@ class RunHistory:
             return 0.0
         per = [r.round_bytes / max(r.num_selected, 1) for r in self.records]
         return float(np.mean(per)) / 1e6
+
+    def fingerprint(self) -> str:
+        """Content hash over everything a resumed run must reproduce.
+
+        Wall-clock round durations (``wall_time``) and free-form ``meta``
+        vary between machines and between a straight-through run and a
+        kill-and-resume run; neither is part of the determinism contract,
+        so both are excluded. Two histories with the same fingerprint made
+        the same measurements round for round.
+        """
+        payload = self.to_dict()
+        payload.pop("meta", None)
+        for r in payload["rounds"]:
+            r.pop("wall_time", None)
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, raw: dict) -> "RunHistory":

@@ -8,6 +8,7 @@ from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
 
 __all__ = ["Conv2d"]
 
@@ -36,7 +37,7 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else new_rng(None, "init")
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
         if bias:

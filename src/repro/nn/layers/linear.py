@@ -8,6 +8,7 @@ from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
 
 __all__ = ["Linear"]
 
@@ -35,7 +36,7 @@ class Linear(Module):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else new_rng(None, "init")
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng, gain=1.0))
         if bias:
             bound = 1.0 / np.sqrt(in_features)

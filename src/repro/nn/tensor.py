@@ -474,8 +474,11 @@ def arange(*args, requires_grad: bool = False) -> Tensor:
 def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    gen = rng if rng is not None else np.random.default_rng()
-    return Tensor(gen.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad)
+    if rng is None:
+        from repro.utils.rng import new_rng  # local: nn must stay importable alone
+
+        rng = new_rng(None)
+    return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

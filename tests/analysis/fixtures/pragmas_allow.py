@@ -1,0 +1,8 @@
+"""Pragma fixture: line-scoped allows suppress exactly their line/code."""
+
+import numpy as np
+
+suppressed = np.random.default_rng()  # reprolint: allow[RPL102] fixture exercises the escape hatch
+wildcard = np.random.default_rng()  # reprolint: allow[*]
+wrong_code = np.random.default_rng()  # reprolint: allow[RPL101] (does not cover RPL102)
+unsuppressed = np.random.default_rng()

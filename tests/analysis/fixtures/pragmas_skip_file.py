@@ -1,0 +1,10 @@
+# reprolint: skip-file
+"""Pragma fixture: the whole file is excluded despite violations."""
+
+import random
+
+import numpy as np
+
+np.random.seed(1)
+rng = np.random.default_rng()
+pick = random.choice([1, 2, 3])

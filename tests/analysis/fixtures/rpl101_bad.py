@@ -1,0 +1,10 @@
+"""Must-flag: draws from (and reseeds) the process-global NumPy RNG."""
+
+import numpy as np
+from numpy import random as npr
+
+np.random.seed(0)
+x = np.random.rand(3)
+y = np.random.randn(2, 2)
+np.random.shuffle(x)
+z = npr.choice([1, 2, 3])

@@ -1,0 +1,9 @@
+"""Must-pass: explicit Generator draws only (same method names, no global)."""
+
+import numpy as np
+
+rng = np.random.default_rng(0)
+x = rng.random(3)
+y = rng.standard_normal((2, 2))
+rng.shuffle(x)
+choice = rng.choice([1, 2, 3])

@@ -1,0 +1,7 @@
+"""Must-flag: zero-argument default_rng() draws OS entropy."""
+
+import numpy as np
+from numpy.random import default_rng
+
+a = np.random.default_rng()
+b = default_rng()

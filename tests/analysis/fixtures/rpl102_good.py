@@ -1,0 +1,9 @@
+"""Must-pass: every Generator is seeded (directly or via a variable)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+a = np.random.default_rng(0)
+seed = 7
+b = default_rng(seed)
+c = np.random.default_rng(seed=None)  # explicit seed kwarg is a caller decision

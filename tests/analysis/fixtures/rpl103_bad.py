@@ -1,0 +1,8 @@
+"""Must-flag: the stdlib random module is a second hidden global stream."""
+
+import random
+from random import shuffle
+
+values = [3, 1, 2]
+shuffle(values)
+pick = random.choice(values)

@@ -1,0 +1,10 @@
+"""Must-pass: numpy-only randomness; 'random' appearing in other module
+names (numpy.random) is not the stdlib module."""
+
+import numpy as np
+import numpy.random
+from numpy.random import default_rng
+
+rng = default_rng(3)
+pick = rng.choice([3, 1, 2])
+arr = np.asarray([1.0])

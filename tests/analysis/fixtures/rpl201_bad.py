@@ -1,0 +1,10 @@
+"""Must-flag: civil-time reads that would leak into recorded metrics."""
+
+import time
+from datetime import datetime
+from time import time as now
+
+start = time.time()
+stamp = datetime.now()
+later = now()
+ns = time.time_ns()

@@ -1,0 +1,8 @@
+"""Must-pass: perf_counter durations are the sanctioned timing source."""
+
+import time
+from time import perf_counter
+
+start = time.perf_counter()
+elapsed = time.perf_counter() - start
+other = perf_counter()

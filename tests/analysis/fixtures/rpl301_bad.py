@@ -1,0 +1,19 @@
+"""Must-flag: writes through bindings that alias shared lru_cache entries."""
+
+import numpy as np
+
+from repro.nn.functional import im2col_indices
+
+
+def corrupt_cache():
+    k, i, j, out_h, out_w = im2col_indices(3, 8, 8, 3, 3, 1, 1)
+    i += 1  # in-place shift corrupts every later conv of this geometry
+    j[0] = 0
+    np.add.at(k, 0, 1)
+    return out_h, out_w
+
+
+def unfreeze():
+    entry = im2col_indices(3, 8, 8, 3, 3, 1, 1)
+    entry[0].setflags(write=True)
+    return entry

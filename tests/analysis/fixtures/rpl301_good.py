@@ -1,0 +1,24 @@
+"""Must-pass: cached entries are read (or copied before mutation)."""
+
+import numpy as np
+
+from repro.nn.functional import im2col_indices
+
+
+def read_only_use(x):
+    k, i, j, out_h, out_w = im2col_indices(3, 8, 8, 3, 3, 1, 1)
+    return x[:, k, i, j], out_h, out_w
+
+
+def copy_then_mutate():
+    k, _, _, _, _ = im2col_indices(3, 8, 8, 3, 3, 1, 1)
+    mine = k.copy()
+    mine += 1  # fine: a private copy
+    return mine
+
+
+def rebinding_clears():
+    i = im2col_indices(3, 8, 8, 3, 3, 1, 1)
+    i = np.arange(4)  # rebound to a fresh array
+    i += 1
+    return i

@@ -1,0 +1,14 @@
+"""Must-flag: an out= write into Tensor storage inside an autograd op."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def fused_scale(x: Tensor, buf: Tensor) -> Tensor:
+    out = np.multiply(x.data, 2.0, out=buf.data)  # aliases a live tensor
+
+    def bwd(g):
+        return (2.0 * g,)
+
+    return Tensor._make(out, (x,), bwd)

@@ -1,0 +1,21 @@
+"""Must-pass: autograd ops allocate fresh outputs; out= into plain scratch
+arrays (not Tensor storage) is fine."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def scale(x: Tensor) -> Tensor:
+    out = x.data * 2.0
+
+    def bwd(g):
+        return (2.0 * g,)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def step_into_scratch(p, g, scratch):
+    # no Tensor._make in this function: optimizer-style out= is allowed
+    np.multiply(g, 0.1, out=scratch)
+    return scratch

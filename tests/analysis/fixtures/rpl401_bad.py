@@ -1,0 +1,19 @@
+"""Must-flag: mutable server state without a server_state() override."""
+
+from collections import OrderedDict
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class DriftingAlgorithm(FLAlgorithm):
+    """Accumulates per-client control state that checkpoints never see."""
+
+    name = "Drifting"
+
+    def setup(self) -> None:
+        self.controls = {}  # grows every round; lost on resume
+        self.history_buffer = []
+
+    def aggregate(self, round_idx, updates):
+        for u in updates:
+            self.controls[u.client_id] = u.weight

@@ -1,0 +1,37 @@
+"""Must-pass: stateful algorithms override server_state (or keep only
+immutable config objects)."""
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class CapturedAlgorithm(FLAlgorithm):
+    name = "Captured"
+
+    def setup(self) -> None:
+        self.controls = {}
+
+    def server_state(self) -> dict:
+        return {"controls": dict(self.controls)}
+
+    def load_server_state(self, state: dict) -> None:
+        self.controls = dict(state["controls"])
+
+    def aggregate(self, round_idx, updates):
+        for u in updates:
+            self.controls[u.client_id] = u.weight
+
+
+class StatelessAlgorithm(FLAlgorithm):
+    name = "Stateless"
+
+    def setup(self) -> None:
+        self.scale = 0.5  # immutable scalar: nothing to checkpoint
+
+    def aggregate(self, round_idx, updates):
+        pass
+
+
+class InheritsCoverage(CapturedAlgorithm):
+    """Same-file parent already captures the state it mutates."""
+
+    name = "InheritsCoverage"

@@ -1,0 +1,15 @@
+"""Must-flag: graph nodes registered without a backward closure."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def forward_only(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+    return Tensor._make(out, (x,))  # no backward: gradients silently stop
+
+
+def explicit_none(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+    return Tensor._make(out, (x,), None)

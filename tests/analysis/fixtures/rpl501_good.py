@@ -1,0 +1,23 @@
+"""Must-pass: every node carries its backward closure."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def tanh(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+
+    def bwd(g):
+        return (g * (1.0 - out * out),)
+
+    return Tensor._make(out, (x,), bwd)
+
+
+def tanh_kw(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+
+    def bwd(g):
+        return (g * (1.0 - out * out),)
+
+    return Tensor._make(out, (x,), backward_fn=bwd)

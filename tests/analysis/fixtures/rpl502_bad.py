@@ -1,0 +1,23 @@
+"""Must-flag: a Module __init__ that never chains to super().__init__."""
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Unregistered(Module):
+    def __init__(self, width: int) -> None:
+        # no super().__init__(): _parameters never exists, weight invisible
+        self.width = width
+        self.weight = Parameter(np.zeros((width, width), dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class IndirectlyBad(Unregistered):
+    def __init__(self) -> None:
+        self.extra = 1
+
+    def forward(self, x):
+        return x

@@ -1,0 +1,30 @@
+"""Must-pass: Module __init__ chains to super (or is inherited)."""
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Registered(Module):
+    def __init__(self, width: int) -> None:
+        super().__init__()
+        self.weight = Parameter(np.zeros((width, width), dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class ExplicitChain(Module):
+    def __init__(self) -> None:
+        Module.__init__(self)
+        self.scale = 2.0
+
+    def forward(self, x):
+        return x
+
+
+class NoInitAtAll(Registered):
+    """Inherits Registered.__init__, which chains."""
+
+    def forward(self, x):
+        return x

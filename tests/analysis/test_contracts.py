@@ -1,0 +1,93 @@
+"""Contract pass: the real registry is clean, and deliberately broken
+algorithm subclasses are caught by exactly the contract that they break."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contracts import (
+    CONTRACT_RULES,
+    algorithm_entries,
+    run_contract_checks,
+)
+from repro.fl.algorithms.fedavg import FedAvg
+
+
+class _UnpicklablePayload(FedAvg):
+    def client_payload(self, round_idx, cid):
+        payload = super().client_payload(round_idx, cid)
+        payload["hook"] = lambda x: x  # lambdas do not pickle
+        return payload
+
+
+class _UnpicklableAlgorithm(FedAvg):
+    def setup(self):
+        super().setup()
+        self._callback = lambda x: x
+
+
+class _LossyServerState(FedAvg):
+    def setup(self):
+        super().setup()
+        self._loads = 0
+
+    def load_server_state(self, state):
+        super().load_server_state(state)
+        self._loads += 1
+
+    def server_state(self):
+        state = super().server_state()
+        state["loads"] = self._loads  # round trip changes the state
+        return state
+
+
+class _ExecutionTaintedFingerprint(FedAvg):
+    def config_fingerprint(self):
+        return f"{super().config_fingerprint()}-w{self.cfg.workers}"
+
+
+class _Uninstantiable(FedAvg):
+    def __init__(self, model_fn, fed, cfg):  # wrong: rejects the standard signature
+        raise TypeError("needs extra arguments")
+
+
+BROKEN = {
+    "RPL901": _UnpicklablePayload,
+    "RPL902": _UnpicklableAlgorithm,
+    "RPL903": _LossyServerState,
+    "RPL904": _ExecutionTaintedFingerprint,
+}
+
+
+def test_registry_contains_the_paper_algorithms():
+    names = {name for name, _ in algorithm_entries()}
+    assert {"fedavg", "fedkemf", "fedkd", "fedmd", "scaffold"} <= names
+
+
+def test_real_registry_passes_all_contracts():
+    violations = run_contract_checks()
+    assert violations == [], [str(v) for v in violations]
+
+
+@pytest.mark.parametrize("code", sorted(BROKEN))
+def test_broken_algorithm_is_caught_by_its_contract(code):
+    cls = BROKEN[code]
+    violations = run_contract_checks(entries=[("broken", cls)])
+    codes = {v.code for v in violations}
+    assert code in codes, f"{cls.__name__} should trip {code}; got {codes or 'nothing'}"
+
+
+def test_uninstantiable_algorithm_is_reported_not_raised():
+    violations = run_contract_checks(entries=[("broken", _Uninstantiable)])
+    assert len(violations) == 1
+    assert violations[0].code == "RPL901"
+    assert "instantiate" in violations[0].message
+
+
+def test_contract_rules_have_identity():
+    codes = set()
+    for rule in CONTRACT_RULES:
+        assert rule.kind == "contract"
+        assert rule.code.startswith("RPL9") and rule.code not in codes
+        codes.add(rule.code)
+        assert rule.invariant

@@ -1,0 +1,60 @@
+"""Per-rule fixture coverage: every AST rule has a known-bad file that must
+flag and a known-good sibling that must stay silent for that code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AST_RULES
+
+CASES = {
+    "RPL101": ("rpl101_bad.py", "rpl101_good.py", 5),
+    "RPL102": ("rpl102_bad.py", "rpl102_good.py", 2),
+    "RPL103": ("rpl103_bad.py", "rpl103_good.py", 2),
+    "RPL201": ("rpl201_bad.py", "rpl201_good.py", 4),
+    "RPL301": ("rpl301_bad.py", "rpl301_good.py", 4),
+    "RPL302": ("rpl302_bad.py", "rpl302_good.py", 1),
+    "RPL401": ("rpl401_bad.py", "rpl401_good.py", 1),
+    "RPL501": ("rpl501_bad.py", "rpl501_good.py", 2),
+    "RPL502": ("rpl502_bad.py", "rpl502_good.py", 2),
+}
+
+
+def test_every_ast_rule_has_fixture_coverage():
+    assert {r.code for r in AST_RULES} == set(CASES)
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_bad_fixture_flags(code, lint_fixture):
+    bad, _, expected = CASES[code]
+    result = lint_fixture(bad, select=frozenset({code}))
+    got = [v for v in result.violations if v.code == code]
+    assert len(got) == expected, (
+        f"{bad} should raise {expected}x {code}; got {result.violations}"
+    )
+    # findings carry real positions for editor/CI navigation
+    assert all(v.line >= 1 for v in got)
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_good_fixture_passes(code, lint_fixture):
+    _, good, _ = CASES[code]
+    result = lint_fixture(good, select=frozenset({code}))
+    assert result.ok, f"{good} must be clean for {code}; got {result.violations}"
+
+
+def test_good_fixtures_clean_under_all_rules(lint_fixture):
+    """The good fixtures are clean under *every* rule, not just their own
+    (guards against rules tripping over each other's idioms)."""
+    for code, (_, good, _) in CASES.items():
+        result = lint_fixture(good)
+        assert result.ok, f"{good}: {result.violations}"
+
+
+def test_rules_have_identity():
+    codes = set()
+    for rule in AST_RULES:
+        assert rule.code.startswith("RPL") and rule.code not in codes
+        codes.add(rule.code)
+        assert rule.name and rule.invariant
+        assert rule.kind == "ast"

@@ -85,6 +85,9 @@ class TestResumeParity:
         got = resumed.run(ROUNDS, checkpoint_dir=tmp_path, resume_from=True)
 
         assert history_key(got) == history_key(full)
+        # the one-line form of the same comparison (reprolint RPL904's
+        # sibling contract): timing drift must not reach the fingerprint
+        assert got.fingerprint() == full.fingerprint()
         assert_same_weights(resumed, straight)
 
     def test_checkpoint_file_contents(self, fed, model_fn, tmp_path):
@@ -140,6 +143,22 @@ class TestResumeValidation:
         assert a.config_fingerprint() == b.config_fingerprint()
         c = FedAvg(model_fn, fed, make_cfg(faults="dropout=0.5"))
         assert a.config_fingerprint() != c.config_fingerprint()
+
+    def test_history_fingerprint_ignores_timing_and_meta(self, fed, model_fn):
+        """Regression: wall-clock timings and free-form meta never leak
+        into ``RunHistory.fingerprint()`` — a resumed run (whose per-round
+        wall times inevitably differ) must hash identically."""
+        history = FedAvg(model_fn, fed, make_cfg()).run(RESUME_AT)
+        baseline = history.fingerprint()
+        assert len(baseline) == 16 and int(baseline, 16) >= 0
+
+        for r in history.records:
+            r.wall_time += 123.456  # simulate a slower machine / resume leg
+        history.meta["resumed_from"] = "round-2"
+        assert history.fingerprint() == baseline
+
+        history.records[-1].accuracy += 1e-9  # any measured axis must count
+        assert history.fingerprint() != baseline
 
     def test_bad_arguments(self, fed, model_fn, tmp_path):
         algo = FedAvg(model_fn, fed, make_cfg())
