@@ -8,12 +8,13 @@ vs the resource-matched ResNet-20/32/44 plan, both communicating only the
 knowledge network.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.resource import local_model_builders, plan_multi_model
-from repro.fl.latency import simulate_epoch_times
 from repro.nn.models import build_model
 from repro.nn.serialization import dumps_state_dict
+from repro.runtime.clock import VirtualClock
 
 
 @pytest.mark.benchmark(group="system")
@@ -36,16 +37,23 @@ def test_straggler_mitigation(benchmark, runner, save_result):
             build_model("resnet-44", image_size=image, width_mult=width, seed=s)
             for s in range(n)
         ]
-        kwargs = dict(
-            samples_per_client=shard,
-            batch_size=scale.batch_size,
-            local_epochs=scale.local_epochs,
+        # The runtime's VirtualClock is the one time model shared with the
+        # deadline and buffered-aggregation policies — timing both fleets
+        # through it (instead of a parallel latency derivation) keeps this
+        # comparison consistent with what the round loop would simulate,
+        # and its per-architecture FLOP cache profiles each model family
+        # once instead of once per client.
+        clock = VirtualClock(
+            profiles=plan.profiles,
             batch_input_shape=(scale.batch_size, 3, image, image),
-            payload_bytes=2 * payload,
         )
+        steps = [
+            max(1, int(np.ceil(s / scale.batch_size))) * scale.local_epochs
+            for s in shard
+        ]
         return (
-            simulate_epoch_times(uniform_models, plan.profiles, **kwargs),
-            simulate_epoch_times(matched_models, plan.profiles, **kwargs),
+            clock.round_timing(uniform_models, steps, 2 * payload),
+            clock.round_timing(matched_models, steps, 2 * payload),
             plan,
         )
 

@@ -177,7 +177,8 @@ class ServerStateRoundTrip(ContractRule):
     name = "server-state-roundtrip"
     invariant = (
         "server_state() pickles and load_server_state(server_state()) "
-        "reproduces it exactly — the checkpoint/resume identity"
+        "reproduces it exactly — including the buffered-aggregation update "
+        "buffer — the checkpoint/resume identity"
     )
 
     def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
@@ -196,6 +197,66 @@ class ServerStateRoundTrip(ContractRule):
                 cls,
                 f"{name}: server_state() after load_server_state(server_state()) "
                 "differs from the original — resumed runs will drift",
+            )
+            return
+        yield from self._buffered_roundtrip(name, cls, algo)
+
+    def _buffered_roundtrip(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        """Re-run the round trip with an armed update buffer.
+
+        Every algorithm can run under the buffered server regime, so its
+        checkpoint hooks must also carry the base class's buffer state
+        (the reserved ``"_async_buffer"`` key). Arming a synthetic buffer
+        catches overrides that rebuild the state dict without merging
+        ``super().server_state()`` — the exact failure mode that loses
+        in-flight updates on a mid-buffer resume.
+        """
+        from repro.runtime.async_server import BufferedAggregation, UpdateBuffer
+        from repro.runtime.executors import ClientUpdate
+
+        buf = UpdateBuffer(BufferedAggregation(buffer_size=2, staleness_alpha=0.5))
+        buf.push(
+            0,
+            0,
+            1.5,
+            ClientUpdate(
+                client_id=0,
+                states={"state": algo.global_model.state_dict()},
+                weight=1.0,
+                steps=1,
+            ),
+        )
+        buf.advance(2.0)
+        original = algo._update_buffer
+        algo._update_buffer = buf
+        try:
+            state = algo.server_state()
+            if "_async_buffer" not in state:
+                yield self.fail(
+                    cls,
+                    f"{name}: server_state() omits the '_async_buffer' key while "
+                    "the buffered regime is active — the override likely rebuilds "
+                    "the dict without merging super().server_state(); a mid-buffer "
+                    "checkpoint loses every in-flight update",
+                )
+                return
+            restored = pickle.loads(
+                pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            algo.load_server_state(restored)
+            state2 = algo.server_state()
+        except Exception as exc:  # noqa: BLE001
+            yield self.fail(
+                cls, f"{name}: buffered server_state round trip raised ({exc!r})"
+            )
+            return
+        finally:
+            algo._update_buffer = original
+        if not _deep_equal(state, state2):
+            yield self.fail(
+                cls,
+                f"{name}: buffered server_state does not survive the "
+                "load_server_state round trip — mid-buffer resumes will drift",
             )
 
 

@@ -38,6 +38,11 @@ _STATEFUL_BASES = frozenset(
 
 _MUTABLE_CTORS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict", "deque"})
 _STATE_HOOKS = ("setup", "__init__")
+# Overrides of these hooks must delegate to super(): the FLAlgorithm base
+# class checkpoints its own server state through them (the buffered-
+# aggregation update buffer), so an override that fails to merge the base
+# dict silently drops in-flight updates from every checkpoint.
+_CHECKPOINT_HOOKS = frozenset({"server_state", "load_server_state"})
 
 
 def _is_mutable_value(node: ast.AST) -> bool:
@@ -68,7 +73,7 @@ class MissingServerState(AstRule):
     invariant = (
         "every FLAlgorithm subclass that assigns mutable server attributes "
         "in setup()/__init__ overrides server_state()/load_server_state() "
-        "so checkpoints capture the full trajectory"
+        "(merging super()'s dict) so checkpoints capture the full trajectory"
     )
 
     def check(self, module: SourceModule) -> Iterable[Violation]:
@@ -80,6 +85,7 @@ class MissingServerState(AstRule):
         for cls in classes.values():
             if not self._is_algorithm(cls, classes):
                 continue
+            yield from self._check_super_delegation(module, cls)
             if self._covered(cls, classes):
                 continue
             offender = self._first_mutable_assign(cls)
@@ -92,6 +98,45 @@ class MissingServerState(AstRule):
                     f"(self.{attr}) but does not override server_state()/"
                     "load_server_state(); checkpoints will silently drop it",
                 )
+
+    def _check_super_delegation(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterable[Violation]:
+        """Overridden checkpoint hooks must call through to super().
+
+        The base class owns part of the checkpoint (the buffered-server
+        update buffer lives under its reserved ``"_async_buffer"`` key);
+        an override that rebuilds the dict from scratch drops it, and a
+        mid-buffer resume silently loses every in-flight update.
+        """
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name not in _CHECKPOINT_HOOKS:
+                continue
+            if not self._calls_super(fn, fn.name):
+                yield self.violation(
+                    module,
+                    fn,
+                    f"{cls.name}.{fn.name}() never calls super().{fn.name}(); "
+                    "base-class server state (e.g. the buffered-aggregation "
+                    "update buffer) is dropped from checkpoints and a "
+                    "mid-buffer resume loses the in-flight updates",
+                )
+
+    @staticmethod
+    def _calls_super(fn: ast.AST, hook: str) -> bool:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == hook
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "super"
+            ):
+                return True
+        return False
 
     # -- class-graph helpers (same-file inheritance resolved textually) -- #
 

@@ -29,6 +29,7 @@ __all__ = [
     "ensemble_mean",
     "ensemble_vote",
     "ensemble_logits",
+    "weighted_ensemble_logits",
     "member_logits",
     "stack_member_logits",
     "collect_member_logits",
@@ -77,6 +78,61 @@ def ensemble_logits(stacked: np.ndarray, strategy: str = "max") -> np.ndarray:
         raise ValueError("cannot ensemble zero members")
     fn = ENSEMBLE_REGISTRY.get(strategy)
     return fn(stacked)
+
+
+def weighted_ensemble_logits(
+    stacked: np.ndarray,
+    strategy: str = "max",
+    weights: "Sequence[float] | None" = None,
+) -> np.ndarray:
+    """Ensemble with per-member weights (buffered FL's staleness discounts).
+
+    A member's weight scales its influence on the teacher in the natural
+    way for each strategy:
+
+    - ``mean``: weighted average of logits (``np.average``);
+    - ``vote``: each member casts ``weight`` ballots instead of one;
+    - ``max``: member logits are scaled by the weight before the
+      element-wise maximum, so a heavily-discounted member only wins a
+      logit slot when its (scaled) confidence still dominates.
+
+    ``weights=None`` or all-unit weights delegate to
+    :func:`ensemble_logits` verbatim — bitwise, not just numerically —
+    which is what keeps a fresh buffered merge identical to the
+    synchronous path. Custom registry strategies have no defined weighted
+    form and raise.
+    """
+    stacked = np.asarray(stacked)
+    if weights is None:
+        return ensemble_logits(stacked, strategy)
+    if stacked.ndim != 3:
+        raise ValueError(f"expected stacked logits of shape (M, N, C); got {stacked.shape}")
+    w = np.asarray(list(weights), dtype=np.float64)
+    if w.shape != (stacked.shape[0],):
+        raise ValueError(
+            f"need one weight per member ({stacked.shape[0]}); got shape {w.shape}"
+        )
+    if np.any(w < 0) or float(w.sum()) <= 0.0:
+        raise ValueError("member weights must be non-negative with positive sum")
+    if np.all(w == 1.0):
+        return ensemble_logits(stacked, strategy)
+    fn = ENSEMBLE_REGISTRY.get(strategy)
+    if fn is ensemble_mean:
+        return np.average(stacked, axis=0, weights=w).astype(stacked.dtype)
+    if fn is ensemble_vote:
+        m, n, c = stacked.shape
+        votes = stacked.argmax(axis=2)  # (M, N)
+        flat = votes + np.arange(n)[None, :] * c
+        counts = np.bincount(
+            flat.ravel(), weights=np.repeat(w, n), minlength=n * c
+        )
+        return counts.reshape(n, c).astype(stacked.dtype)
+    if fn is ensemble_max:
+        return (stacked * w[:, None, None]).max(axis=0).astype(stacked.dtype)
+    raise ValueError(
+        f"ensemble strategy {strategy!r} has no weighted form; "
+        "register one or use unweighted ensemble_logits"
+    )
 
 
 def member_logits(

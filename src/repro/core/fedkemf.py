@@ -107,13 +107,17 @@ class FedKEMF(FLAlgorithm):
     def server_state(self) -> dict:
         # The heterogeneous local models are the on-device deployment
         # artifacts — without them a resumed run would restart every θ from
-        # scratch and diverge from the uninterrupted trajectory.
-        return {
-            "local_models": [m.state_dict() for m in self.local_models],
-            "last_distill_loss": self.last_distill_loss,
-        }
+        # scratch and diverge from the uninterrupted trajectory. The base
+        # dict additionally carries the buffered-regime update buffer.
+        state = super().server_state()
+        state.update(
+            local_models=[m.state_dict() for m in self.local_models],
+            last_distill_loss=self.last_distill_loss,
+        )
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         for model, weights in zip(self.local_models, state["local_models"]):
             model.load_state_dict(weights)
         self.last_distill_loss = state["last_distill_loss"]
@@ -149,6 +153,9 @@ class FedKEMF(FLAlgorithm):
         if self.cfg.fusion == "weight-average":
             fuse_weight_average(self.global_model, client_states, weights)
         else:
+            # member_weights: the buffered regime's staleness discounts
+            # (None under synchronous / all-fresh aggregation — keeping the
+            # teacher bit-identical to the pre-buffer behaviour).
             self.last_distill_loss = fuse_ensemble_distill(
                 self.global_model,
                 self._scratch,
@@ -158,6 +165,7 @@ class FedKEMF(FLAlgorithm):
                 strategy=self.cfg.ensemble,
                 distill_config=self._distill_config,
                 init_from_average=self.cfg.distill_init_from_average,
+                member_weights=self._staleness_discounts,
             )
 
     def client_compute_model(self, cid: int) -> Module:

@@ -15,7 +15,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.distill import DistillConfig, distill_to_student
-from repro.core.ensemble import ensemble_logits, member_logits
+from repro.core.ensemble import member_logits, weighted_ensemble_logits
 from repro.data.dataset import Dataset
 from repro.nn.module import Module
 from repro.nn.serialization import average_states
@@ -43,6 +43,7 @@ def fuse_ensemble_distill(
     strategy: str,
     distill_config: DistillConfig,
     init_from_average: bool = True,
+    member_weights: "Sequence[float] | None" = None,
 ) -> float:
     """Fusion method 2 (the paper's): ensemble then distill (Alg. 2).
 
@@ -51,6 +52,11 @@ def fuse_ensemble_distill(
     ``init_from_average`` warm-starts the student at the weight average
     before distilling (the standard FedDF initialization, which the
     ensemble-fusion ablation toggles).
+
+    ``member_weights`` (one per client state) weights the ensemble teacher
+    itself — the buffered server regime passes its staleness discounts
+    here so a stale member shapes the teacher less. ``None`` or all-unit
+    weights keep the unweighted teacher bit-identical to before.
 
     Returns the final distillation loss.
     """
@@ -71,7 +77,7 @@ def fuse_ensemble_distill(
             stacked[0] = first
         else:
             member_logits(scratch, x, batch_size=chunk, out=stacked[mi])
-    teacher = ensemble_logits(stacked, strategy)
+    teacher = weighted_ensemble_logits(stacked, strategy, member_weights)
 
     if init_from_average:
         fuse_weight_average(global_knowledge, client_states, weights)

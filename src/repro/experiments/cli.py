@@ -74,6 +74,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="virtual-clock round deadline in seconds (default: $REPRO_DEADLINE)",
     )
+    rt.add_argument(
+        "--aggregation",
+        default=None,
+        choices=["sync", "buffered"],
+        help="server aggregation regime: sync (classic rounds) or buffered "
+        "(FedBuff-style staleness-weighted merges; default: $REPRO_AGGREGATION)",
+    )
+    rt.add_argument(
+        "--buffer-size",
+        type=int,
+        default=None,
+        help="buffered: merge after this many arrivals (default: "
+        "$REPRO_BUFFER_SIZE or the per-round cohort size)",
+    )
+    rt.add_argument(
+        "--staleness-alpha",
+        type=float,
+        default=None,
+        help="buffered: staleness discount exponent in w(s)=1/(1+s)^alpha "
+        "(0 = uniform; default: $REPRO_STALENESS_ALPHA or 0.5)",
+    )
+    rt.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        help="buffered: evict updates staler than this many server versions "
+        "(default: $REPRO_MAX_STALENESS or never)",
+    )
     ck = p.add_argument_group("durability (checkpoint / resume)")
     ck.add_argument(
         "--checkpoint-dir",
@@ -165,6 +193,14 @@ def main(argv: "list[str] | None" = None) -> int:
         os.environ["REPRO_FAULTS"] = args.faults
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
+    if args.aggregation is not None:
+        os.environ["REPRO_AGGREGATION"] = args.aggregation
+    if args.buffer_size is not None:
+        os.environ["REPRO_BUFFER_SIZE"] = str(args.buffer_size)
+    if args.staleness_alpha is not None:
+        os.environ["REPRO_STALENESS_ALPHA"] = str(args.staleness_alpha)
+    if args.max_staleness is not None:
+        os.environ["REPRO_MAX_STALENESS"] = str(args.max_staleness)
     if args.checkpoint_dir is not None:
         os.environ["REPRO_CHECKPOINT_DIR"] = str(args.checkpoint_dir)
     if args.checkpoint_every is not None:

@@ -171,10 +171,15 @@ def runtime_defaults() -> dict:
     persistent), ``REPRO_FAULTS`` (fault spec string, e.g.
     ``"dropout=0.3,loss=0.1"``) and ``REPRO_DEADLINE`` (float seconds) map
     onto :class:`repro.fl.algorithms.FLConfig`'s ``workers`` / ``executor``
-    / ``faults`` / ``deadline`` fields. The CLI's
-    ``--workers/--executor/--faults/--deadline`` flags set these variables
-    so one invocation configures every run it spawns. Unset variables are
-    omitted, leaving the config defaults in force.
+    / ``faults`` / ``deadline`` fields; ``REPRO_AGGREGATION`` (sync |
+    buffered), ``REPRO_BUFFER_SIZE`` (int), ``REPRO_STALENESS_ALPHA``
+    (float) and ``REPRO_MAX_STALENESS`` (int) map onto the buffered-server
+    fields ``aggregation`` / ``buffer_size`` / ``staleness_alpha`` /
+    ``max_staleness``. The CLI's ``--workers/--executor/--faults/
+    --deadline/--aggregation/--buffer-size/--staleness-alpha/
+    --max-staleness`` flags set these variables so one invocation
+    configures every run it spawns. Unset variables are omitted, leaving
+    the config defaults in force.
     """
     out: dict = {}
     workers = os.environ.get("REPRO_WORKERS")
@@ -189,6 +194,18 @@ def runtime_defaults() -> dict:
     deadline = os.environ.get("REPRO_DEADLINE")
     if deadline:
         out["deadline"] = float(deadline)
+    aggregation = os.environ.get("REPRO_AGGREGATION")
+    if aggregation:
+        out["aggregation"] = aggregation.strip().lower()
+    buffer_size = os.environ.get("REPRO_BUFFER_SIZE")
+    if buffer_size:
+        out["buffer_size"] = int(buffer_size)
+    alpha = os.environ.get("REPRO_STALENESS_ALPHA")
+    if alpha:
+        out["staleness_alpha"] = float(alpha)
+    max_staleness = os.environ.get("REPRO_MAX_STALENESS")
+    if max_staleness:
+        out["max_staleness"] = int(max_staleness)
     return out
 
 

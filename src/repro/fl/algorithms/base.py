@@ -49,9 +49,14 @@ from repro.fl.sampler import ClientSampler
 from repro.fl.trainer import LocalTrainer
 from repro.nn.module import Module
 from repro.nn.serialization import state_dict_num_bytes
+from repro.runtime.async_server import (
+    AGGREGATION_KINDS,
+    BufferedMerge,
+    UpdateBuffer,
+)
 from repro.runtime.executors import EXECUTOR_KINDS, ClientUpdate
 from repro.runtime.faults import parse_fault_spec
-from repro.runtime.runtime import FLRuntime, RoundOutcome
+from repro.runtime.runtime import STALE_EVICTED, FLRuntime, RoundOutcome
 from repro.utils.logging import get_logger
 from repro.utils.registry import Registry
 
@@ -100,6 +105,10 @@ class FLConfig:
     faults: str | None = None  # fault spec, e.g. "dropout=0.3,loss=0.1,slowdown=4"
     deadline: float | None = None  # virtual-clock round deadline (seconds)
     over_provision: bool = True  # sample ceil(K/(1-dropout)) when dropout > 0
+    aggregation: str = "sync"  # sync | buffered (FedBuff-style server regime)
+    buffer_size: int | None = None  # buffered: merge after K arrivals (None = per-round K)
+    staleness_alpha: float = 0.5  # buffered: discount w(s) = 1/(1+s)^alpha
+    max_staleness: int | None = None  # buffered: evict updates staler than this
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -124,6 +133,18 @@ class FLConfig:
             )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive; got {self.deadline}")
+        if self.aggregation not in AGGREGATION_KINDS:
+            raise ValueError(
+                f"aggregation must be one of {AGGREGATION_KINDS}; got {self.aggregation!r}"
+            )
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1; got {self.buffer_size}")
+        if self.staleness_alpha < 0:
+            raise ValueError(
+                f"staleness_alpha must be >= 0; got {self.staleness_alpha}"
+            )
+        if self.max_staleness is not None and self.max_staleness < 0:
+            raise ValueError(f"max_staleness must be >= 0; got {self.max_staleness}")
         parse_fault_spec(self.faults)  # raises on a malformed spec string
 
     def with_overrides(self, **kwargs) -> "FLConfig":
@@ -183,6 +204,16 @@ class FLAlgorithm:
             for i, ds in enumerate(fed.client_train)
         ]
         self._last_outcome: "RoundOutcome | None" = None
+        # Buffered (FedBuff-style) server regime: the event queue of
+        # in-flight updates. None under synchronous aggregation. The base
+        # class owns its checkpointing (server_state / load_server_state),
+        # so subclass overrides must merge super()'s dict.
+        policy = self.runtime.aggregation
+        self._update_buffer = UpdateBuffer(policy) if policy.buffered else None
+        # Per-merge staleness discounts, set by aggregate_buffered for the
+        # duration of one aggregate() call so fusion-based algorithms can
+        # weight ensemble members; None whenever every update is fresh.
+        self._staleness_discounts: "list[float] | None" = None
         self.setup()
 
     # hooks ------------------------------------------------------------- #
@@ -234,6 +265,38 @@ class FLAlgorithm:
         channel-decoded payloads in ``update.received``."""
         raise NotImplementedError
 
+    def aggregate_buffered(
+        self, round_idx: int, merges: "list[BufferedMerge]"
+    ) -> None:
+        """Staleness-aware aggregation for the buffered server regime.
+
+        ``merges`` arrive sorted by client id; each pairs a
+        :class:`ClientUpdate` with its staleness ``s`` and discount
+        ``w(s) = 1/(1+s)^alpha``. The default rescales every update's
+        aggregation weight by its discount and delegates to
+        :meth:`aggregate`, publishing the per-merge discounts in
+        ``self._staleness_discounts`` for the duration of the call so
+        fusion-based algorithms (FedDF / FedKEMF) can also weight their
+        ensemble members.
+
+        An all-fresh buffer (every discount exactly 1.0) delegates
+        directly with the original updates — this is what makes
+        ``BufferedAggregation(buffer_size=num_sampled, staleness_alpha=0)``
+        bit-identical to the synchronous path.
+
+        Subclasses with a natural *delta* formulation (FedAvg family)
+        override this to anchor on the current global state instead of
+        renormalizing stale weights away.
+        """
+        if all(m.discount == 1.0 for m in merges):
+            self.aggregate(round_idx, [m.update for m in merges])
+            return
+        self._staleness_discounts = [m.discount for m in merges]
+        try:
+            self.aggregate(round_idx, [m.discounted() for m in merges])
+        finally:
+            self._staleness_discounts = None
+
     def server_state(self) -> dict:
         """Algorithm state beyond the global model, for checkpointing.
 
@@ -241,17 +304,29 @@ class FLAlgorithm:
         :meth:`apply_client_update` carry across rounds must be returned
         here (picklable, by value — copies, not aliases): SCAFFOLD's
         control variates, FedOpt's server-optimizer moments, FedKEMF's
-        on-device local models, ... The base algorithm keeps nothing.
+        on-device local models, ...
+
+        The base class captures the buffered-aggregation server state
+        (pending update buffer, virtual clock, server version counter)
+        when the buffered regime is active, so **overrides must merge
+        ``super().server_state()``** (and call
+        ``super().load_server_state(state)``) — otherwise a mid-buffer
+        resume would drop the in-flight updates and drift.
 
         The loop state itself — sampler position, fault schedules, loader
         shuffles — needs no capture: every stream is a pure function of
         ``(seed, round, client)``, so replay after
         :meth:`load_server_state` is bit-identical by construction.
         """
-        return {}
+        state: dict = {}
+        if self._update_buffer is not None:
+            state["_async_buffer"] = self._update_buffer.state()
+        return state
 
     def load_server_state(self, state: dict) -> None:
         """Restore what :meth:`server_state` captured (inverse hook)."""
+        if self._update_buffer is not None and "_async_buffer" in state:
+            self._update_buffer.load_state(state["_async_buffer"])
 
     def client_compute_model(self, cid: int) -> Module:
         """The model whose FLOPs dominate this client's local pass (drives
@@ -336,43 +411,56 @@ class FLAlgorithm:
             update.received = received
             survivors.append(update)
 
-        # Straggler policy: reject deadline misses, accept the first K by
-        # virtual finish time (over-provisioned sampling provides slack),
-        # then restore client-id order so aggregation is order-stable.
-        accepted = survivors
-        if rt.clock is not None:
-            target_k = self.sampler.per_round
-            accepted = []
-            for update in sorted(
-                survivors, key=lambda u: (times[u.client_id], u.client_id)
-            ):
-                cid = update.client_id
-                if rt.deadline_s is not None and times[cid] > rt.deadline_s:
-                    failures[cid] = "deadline"
-                elif len(accepted) >= target_k:
-                    failures[cid] = "surplus"
-                else:
-                    accepted.append(update)
-            accepted.sort(key=lambda u: u.client_id)
-
-        if accepted:
-            self.aggregate(round_idx, accepted)
-        else:
-            log.warning(
-                "%s round %d: no surviving clients (%s); server state unchanged",
-                self.name,
-                round_idx + 1,
-                {cid: r for cid, r in failures.items()},
+        if self._update_buffer is not None:
+            accepted, stale_counts, sim_time = self._buffered_step(
+                round_idx, survivors, times, failures
             )
+            buffer_len = len(self._update_buffer)
+        else:
+            # Straggler policy: reject deadline misses, accept the first K
+            # by virtual finish time (over-provisioned sampling provides
+            # slack), then restore client-id order so aggregation is
+            # order-stable.
+            accepted = survivors
+            if rt.clock is not None:
+                target_k = self.sampler.per_round
+                accepted = []
+                for update in sorted(
+                    survivors, key=lambda u: (times[u.client_id], u.client_id)
+                ):
+                    cid = update.client_id
+                    if rt.deadline_s is not None and times[cid] > rt.deadline_s:
+                        failures[cid] = "deadline"
+                    elif len(accepted) >= target_k:
+                        failures[cid] = "surplus"
+                    else:
+                        accepted.append(update)
+                accepted.sort(key=lambda u: u.client_id)
 
-        sim_time = 0.0
-        if times:
-            if any(reason == "deadline" for reason in failures.values()):
-                sim_time = float(rt.deadline_s)  # server waited out the deadline
-            elif accepted:
-                sim_time = max(times[u.client_id] for u in accepted)
+            if accepted:
+                self.aggregate(round_idx, accepted)
             else:
-                sim_time = max(times.values())
+                log.warning(
+                    "%s round %d: no surviving clients (%s); server state unchanged",
+                    self.name,
+                    round_idx + 1,
+                    {cid: r for cid, r in failures.items()},
+                )
+
+            sim_time = 0.0
+            if times:
+                if any(reason == "deadline" for reason in failures.values()):
+                    sim_time = float(rt.deadline_s)  # server waited out the deadline
+                elif accepted:
+                    sim_time = max(times[u.client_id] for u in accepted)
+                else:
+                    sim_time = max(times.values())
+            # A synchronous merge is an all-fresh merge: recorded the same
+            # way the buffered regime records it, so the two regimes'
+            # histories are directly comparable (and bit-identical in the
+            # degenerate buffered configuration).
+            stale_counts = {0: len(accepted)} if accepted else {}
+            buffer_len = 0
         self._last_outcome = RoundOutcome(
             round_idx=round_idx,
             sampled=list(selected),
@@ -380,7 +468,69 @@ class FLAlgorithm:
             aggregated=[u.client_id for u in accepted],
             failures=failures,
             sim_time_s=sim_time,
+            staleness=stale_counts,
+            buffer_len=buffer_len,
         )
+
+    def _buffered_step(
+        self,
+        round_idx: int,
+        survivors: "list[ClientUpdate]",
+        times: "dict[int, float]",
+        failures: "dict[int, str]",
+    ) -> "tuple[list[ClientUpdate], dict[int, int], float]":
+        """One server step of the buffered regime.
+
+        Push this round's survivors into the event queue at their virtual
+        arrival instants, drain the earliest ``buffer_size`` arrivals
+        (evicting anything beyond ``max_staleness``), fuse them through
+        :meth:`aggregate_buffered`, and advance the server's virtual clock
+        to the merge instant. On the configured final round
+        (``cfg.rounds``) the buffer is flushed completely so no surviving
+        client's work is silently discarded.
+
+        The round's deadline (if any) is ignored here by design: the
+        buffer replaces the drop-late-clients policy, and a client that
+        would have missed the deadline simply lands in a later server
+        version with a staleness discount.
+        """
+        buf = self._update_buffer
+        for update in sorted(survivors, key=lambda u: u.client_id):
+            buf.push(round_idx, update.client_id, times.get(update.client_id, 0.0), update)
+        target_k = buf.policy.buffer_size or self.sampler.per_round
+        flush = round_idx + 1 >= self.cfg.rounds
+        merges, evicted = buf.drain(round_idx, target_k=None if flush else target_k)
+        for cid in evicted:
+            # A client may appear twice in one round's ledger (evicted
+            # stale update + a fresh fault); keep the first reason.
+            failures.setdefault(cid, STALE_EVICTED)
+        merges.sort(key=lambda m: m.update.client_id)
+
+        if merges:
+            self.aggregate_buffered(round_idx, merges)
+        else:
+            log.warning(
+                "%s round %d: buffer drained no updates (%s); server state unchanged",
+                self.name,
+                round_idx + 1,
+                {cid: r for cid, r in failures.items()},
+            )
+
+        # Round time = latest arrival among the merged updates, measured
+        # from this round's start. Fresh updates use their own relative
+        # finish time verbatim (bitwise what the sync path would compute);
+        # an empty merge mirrors the sync no-survivors rule.
+        sim_time = 0.0
+        if merges:
+            sim_time = max(m.wait_s for m in merges)
+        elif times:
+            sim_time = max(times.values())
+        buf.advance(sim_time)
+
+        stale_counts: "dict[int, int]" = {}
+        for m in merges:
+            stale_counts[m.staleness] = stale_counts.get(m.staleness, 0) + 1
+        return [m.update for m in merges], stale_counts, sim_time
 
     # checkpoint / resume ------------------------------------------------ #
 
@@ -522,6 +672,10 @@ class FLAlgorithm:
             "workers": self.runtime.executor.workers,
             "faults": self.cfg.faults,
             "deadline": self.cfg.deadline,
+            "aggregation": self.runtime.aggregation.kind,
+            "buffer_size": self.cfg.buffer_size,
+            "staleness_alpha": self.cfg.staleness_alpha,
+            "max_staleness": self.cfg.max_staleness,
         }
         # Executors are context managers: pooled workers are released even
         # when a round raises; pools re-arm lazily, so a later run() just
@@ -589,6 +743,8 @@ class FLAlgorithm:
                     num_failed=len(outcome.failures) if outcome is not None else 0,
                     failures=dict(outcome.failures) if outcome is not None else {},
                     sim_time_s=outcome.sim_time_s if outcome is not None else 0.0,
+                    staleness=dict(outcome.staleness) if outcome is not None else {},
+                    buffer_len=outcome.buffer_len if outcome is not None else 0,
                 )
             )
             log.info(

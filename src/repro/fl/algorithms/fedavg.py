@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.serialization import average_states
+from repro.runtime.async_server import BufferedMerge
 from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedAvg"]
@@ -27,6 +28,36 @@ class FedAvg(FLAlgorithm):
     def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         states = [u.received["state"] for u in updates]
         weights = [u.weight for u in updates]
+        self.global_model.load_state_dict(average_states(states, weights))
+
+    def aggregate_buffered(
+        self, round_idx: int, merges: "list[BufferedMerge]"
+    ) -> None:
+        """FedBuff-style anchored merge.
+
+        Discounting inside a plain weighted average renormalizes the
+        discounts away whenever they are uniform; the delta formulation
+        keeps them meaningful by anchoring the mass a stale update *loses*
+        on the current global state:
+
+            x ← [ Σᵢ wᵢdᵢ·xᵢ + (Σᵢ wᵢ − Σᵢ wᵢdᵢ)·x ] / Σᵢ wᵢ
+              = x + Σᵢ wᵢdᵢ·(xᵢ − x) / Σᵢ wᵢ
+
+        i.e. each client's step toward its solution is scaled by its
+        staleness discount dᵢ. With every dᵢ = 1 the residual term
+        vanishes and the synchronous weighted average is recovered
+        bit-identically (the all-fresh fast path below makes that exact,
+        not just algebraic).
+        """
+        if all(m.discount == 1.0 for m in merges):
+            self.aggregate(round_idx, [m.update for m in merges])
+            return
+        states = [m.update.received["state"] for m in merges]
+        weights = [m.update.weight * m.discount for m in merges]
+        residual = sum(m.update.weight for m in merges) - sum(weights)
+        if residual > 0.0:
+            states.append(self.global_model.state_dict())
+            weights.append(residual)
         self.global_model.load_state_dict(average_states(states, weights))
 
 

@@ -44,6 +44,10 @@ class FedDF(FLAlgorithm):
         # FedDF's convention is average-logit teachers; honour the config
         # only if the caller explicitly changed it.
         strategy = "mean" if self.cfg.ensemble == "max" else self.cfg.ensemble
+        # Under the buffered regime the base class publishes per-update
+        # staleness discounts for the duration of this call; they weight
+        # the ensemble teacher so stale members shape it less. None (the
+        # synchronous / all-fresh case) keeps the teacher bit-identical.
         fuse_ensemble_distill(
             self.global_model,
             self._scratch,
@@ -52,6 +56,7 @@ class FedDF(FLAlgorithm):
             public=self.fed.server_public,
             strategy=strategy,
             distill_config=self._distill_config,
+            member_weights=self._staleness_discounts,
         )
 
 

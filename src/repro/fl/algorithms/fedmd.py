@@ -83,12 +83,15 @@ class FedMD(FLAlgorithm):
         self.consensus = np.zeros((len(x), num_classes), dtype=np.float32)
 
     def server_state(self) -> dict:
-        return {
-            "client_models": [m.state_dict() for m in self.client_models],
-            "consensus": self.consensus.copy(),
-        }
+        state = super().server_state()  # buffered-regime buffer, when active
+        state.update(
+            client_models=[m.state_dict() for m in self.client_models],
+            consensus=self.consensus.copy(),
+        )
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         for model, weights in zip(self.client_models, state["client_models"]):
             model.load_state_dict(weights)
         self.consensus = np.asarray(state["consensus"], dtype=np.float32).copy()
@@ -123,6 +126,20 @@ class FedMD(FLAlgorithm):
     def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         uploads = [u.received["scores"]["scores"] for u in updates]
         self.consensus = np.mean(uploads, axis=0).astype(np.float32)
+
+    def aggregate_buffered(self, round_idx: int, merges) -> None:
+        """Staleness-weighted consensus: a stale client's logit table
+        counts for less in the average (``np.average`` with the discount
+        weights). All-fresh merges keep the unweighted ``np.mean`` path —
+        the two are not bitwise interchangeable."""
+        if all(m.discount == 1.0 for m in merges):
+            self.aggregate(round_idx, [m.update for m in merges])
+            return
+        uploads = [m.update.received["scores"]["scores"] for m in merges]
+        discounts = [m.discount for m in merges]
+        self.consensus = np.average(
+            np.stack(uploads), axis=0, weights=discounts
+        ).astype(np.float32)
 
     def client_compute_model(self, cid: int) -> Module:
         return self.client_models[cid]

@@ -69,11 +69,16 @@ class FedAvgM(_FedOptBase):
         self._velocity: OrderedDict | None = None
 
     def server_state(self) -> dict:
-        if self._velocity is None:
-            return {"velocity": None}
-        return {"velocity": OrderedDict((k, v.copy()) for k, v in self._velocity.items())}
+        state = super().server_state()  # buffered-regime buffer, when active
+        state["velocity"] = (
+            None
+            if self._velocity is None
+            else OrderedDict((k, v.copy()) for k, v in self._velocity.items())
+        )
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         v = state["velocity"]
         self._velocity = None if v is None else OrderedDict((k, a.copy()) for k, a in v.items())
 
@@ -104,9 +109,12 @@ class FedAdam(_FedOptBase):
         copy = lambda od: (
             None if od is None else OrderedDict((k, v.copy()) for k, v in od.items())
         )
-        return {"m": copy(self._m), "v": copy(self._v), "t": self._t}
+        state = super().server_state()  # buffered-regime buffer, when active
+        state.update(m=copy(self._m), v=copy(self._v), t=self._t)
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         copy = lambda od: (
             None if od is None else OrderedDict((k, v.copy()) for k, v in od.items())
         )

@@ -51,17 +51,20 @@ class Scaffold(FLAlgorithm):
             tr.momentum = 0.0
 
     def server_state(self) -> dict:
-        return {
-            "server_control": OrderedDict(
+        state = super().server_state()  # buffered-regime buffer, when active
+        state.update(
+            server_control=OrderedDict(
                 (k, v.copy()) for k, v in self.server_control.items()
             ),
-            "client_controls": {
+            client_controls={
                 cid: OrderedDict((k, v.copy()) for k, v in c.items())
                 for cid, c in self.client_controls.items()
             },
-        }
+        )
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         self.server_control = OrderedDict(
             (k, v.copy()) for k, v in state["server_control"].items()
         )

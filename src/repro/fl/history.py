@@ -24,10 +24,16 @@ class RoundRecord:
     ``num_selected`` counts the clients whose updates were *aggregated*
     (participation); under the fault-injecting runtime that can be fewer
     than ``num_sampled``. ``failures`` maps client id → failure reason
-    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus``, plus
-    ``worker-crash`` when a real executor worker died beyond recovery) and
-    ``sim_time_s`` is the virtual-clock round time (0 when the runtime is
-    not simulating time).
+    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus`` /
+    ``stale-evicted``, plus ``worker-crash`` when a real executor worker
+    died beyond recovery) and ``sim_time_s`` is the virtual-clock round
+    time (0 when the runtime is not simulating time).
+
+    ``staleness`` histograms the aggregated updates by server-version lag
+    (``{0: n}`` for a synchronous round; buffered rounds can merge updates
+    dispatched several versions ago) and ``buffer_len`` is the server
+    buffer's occupancy after this round's aggregation (0 when
+    synchronous).
     """
 
     round_idx: int  # 1-based
@@ -42,6 +48,8 @@ class RoundRecord:
     num_failed: int = 0
     failures: dict = field(default_factory=dict)
     sim_time_s: float = 0.0
+    staleness: dict = field(default_factory=dict)
+    buffer_len: int = 0
 
 
 @dataclass
@@ -106,13 +114,32 @@ class RunHistory:
         """Virtual-clock round times (seconds)."""
         return np.array([r.sim_time_s for r in self.records])
 
+    @property
+    def buffer_occupancy(self) -> np.ndarray:
+        """Server-buffer occupancy after each round's aggregation (all
+        zeros for synchronous runs)."""
+        return np.array([r.buffer_len for r in self.records], dtype=np.int64)
+
     def total_failures(self) -> dict:
-        """Failure counts across the run, keyed by reason."""
-        counts: dict[str, int] = {}
+        """Failure counts across the run, keyed by reason, in the
+        canonical taxonomy order (deterministic)."""
+        from repro.runtime.runtime import ordered_failure_counts
+
+        return ordered_failure_counts(
+            reason for r in self.records for reason in r.failures.values()
+        )
+
+    def staleness_histogram(self) -> dict:
+        """Aggregated-update counts by staleness across the run.
+
+        Keys are server-version lags (0 = merged in the dispatch round),
+        sorted ascending; a synchronous run has only key 0.
+        """
+        counts: dict[int, int] = {}
         for r in self.records:
-            for reason in r.failures.values():
-                counts[reason] = counts.get(reason, 0) + 1
-        return counts
+            for s, n in r.staleness.items():
+                counts[int(s)] = counts.get(int(s), 0) + int(n)
+        return {s: counts[s] for s in sorted(counts)}
 
     def bytes_at_round(self, round_1based: int) -> int:
         """Cumulative traffic after ``round_1based`` rounds."""
@@ -173,6 +200,8 @@ class RunHistory:
                         int(cid): reason for cid, reason in r.get("failures", {}).items()
                     },
                     sim_time_s=r.get("sim_time_s", 0.0),
+                    staleness={int(s): n for s, n in r.get("staleness", {}).items()},
+                    buffer_len=r.get("buffer_len", 0),
                 )
             )
         return history
@@ -199,6 +228,8 @@ class RunHistory:
                     "num_failed": r.num_failed,
                     "failures": {str(cid): reason for cid, reason in r.failures.items()},
                     "sim_time_s": r.sim_time_s,
+                    "staleness": {str(s): n for s, n in r.staleness.items()},
+                    "buffer_len": r.buffer_len,
                 }
                 for r in self.records
             ],

@@ -28,6 +28,7 @@ __all__ = [
     "loads_state_dict",
     "state_dict_num_bytes",
     "state_dict_num_params",
+    "state_dict_signature",
     "parameters_to_vector",
     "vector_to_parameters",
     "zeros_like_state",
@@ -106,6 +107,20 @@ def state_dict_num_bytes(state: Mapping[str, np.ndarray]) -> int:
 def state_dict_num_params(state: Mapping[str, np.ndarray]) -> int:
     """Total scalar count across all entries."""
     return int(sum(np.asarray(a).size for a in state.values()))
+
+
+def state_dict_signature(state: Mapping[str, np.ndarray]) -> tuple:
+    """Architecture identity: ordered ``(name, shape, dtype)`` per entry.
+
+    Two models share a signature iff their state dicts are layout-identical
+    — the right cache key for anything derived from architecture alone
+    (per-step FLOPs, wire size), where ``(class name, num_bytes)`` collides
+    for same-size variants of one family.
+    """
+    return tuple(
+        (name, tuple(np.shape(arr)), str(np.asarray(arr).dtype))
+        for name, arr in state.items()
+    )
 
 
 def parameters_to_vector(module: "Module") -> np.ndarray:

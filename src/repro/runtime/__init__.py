@@ -30,10 +30,37 @@ from repro.runtime.executors import (
     fork_available,
     make_executor,
 )
+from repro.runtime.async_server import (
+    AGGREGATION_KINDS,
+    AggregationPolicy,
+    BufferedAggregation,
+    BufferedMerge,
+    SyncAggregation,
+    UpdateBuffer,
+    make_aggregation_policy,
+    staleness_weight,
+)
 from repro.runtime.clock import VirtualClock
-from repro.runtime.runtime import FLRuntime, RoundOutcome
+from repro.runtime.runtime import (
+    FAILURE_REASONS,
+    STALE_EVICTED,
+    FLRuntime,
+    RoundOutcome,
+    ordered_failure_counts,
+)
 
 __all__ = [
+    "AGGREGATION_KINDS",
+    "AggregationPolicy",
+    "SyncAggregation",
+    "BufferedAggregation",
+    "BufferedMerge",
+    "UpdateBuffer",
+    "make_aggregation_policy",
+    "staleness_weight",
+    "FAILURE_REASONS",
+    "STALE_EVICTED",
+    "ordered_failure_counts",
     "FaultSpec",
     "ClientFaults",
     "FaultPlan",

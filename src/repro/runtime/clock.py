@@ -53,11 +53,35 @@ class VirtualClock:
         # which imports repro.runtime — resolving latency at call time keeps
         # both import orders (`import repro.runtime` / `import repro.fl`) safe.
         from repro.nn.profiler import flops_training_step
+        from repro.nn.serialization import state_dict_signature
 
-        key = (type(model).__name__, model.num_bytes())
+        # Keyed on the full architecture signature: (class name, num_bytes)
+        # collides for same-size layout variants of one model family.
+        key = (
+            type(model).__name__,
+            state_dict_signature(model.state_dict(copy=False)),
+        )
         if key not in self._flops_cache:
             self._flops_cache[key] = flops_training_step(model, self.batch_input_shape)
         return self._flops_cache[key]
+
+    def client_timing(
+        self, client_id: int, model: "Module", steps: int, payload_bytes: int
+    ):
+        """The undisturbed latency-model breakdown for one client
+        (:class:`repro.fl.latency.ClientTiming`), FLOP-cached."""
+        from repro.fl.latency import estimate_client_time
+
+        return estimate_client_time(
+            client_id,
+            model,
+            self.profiles[client_id],
+            steps,
+            self.batch_input_shape,
+            payload_bytes,
+            efficiency=self.efficiency,
+            flops_step=self._flops_step(model),
+        )
 
     def client_time(
         self,
@@ -73,16 +97,34 @@ class VirtualClock:
         ``slowdown`` scales compute (straggler injection); ``extra_delay_s``
         adds retransmission backoff. Everything else is the latency model.
         """
-        from repro.fl.latency import estimate_client_time
-
-        timing = estimate_client_time(
-            client_id,
-            model,
-            self.profiles[client_id],
-            steps,
-            self.batch_input_shape,
-            payload_bytes,
-            efficiency=self.efficiency,
-            flops_step=self._flops_step(model),
-        )
+        timing = self.client_timing(client_id, model, steps, payload_bytes)
         return timing.compute_s * slowdown + timing.comm_s + extra_delay_s
+
+    def round_timing(
+        self,
+        models: "Sequence[Module]",
+        steps_per_client: "Sequence[int]",
+        payload_bytes: int,
+        client_ids: "Sequence[int] | None" = None,
+    ):
+        """Synchronous-round view over a set of clients
+        (:class:`repro.fl.latency.RoundTiming`).
+
+        This is the one time model shared by the straggler analysis in
+        ``benchmarks/bench_system_efficiency.py`` and the deadline/buffer
+        policies: all three consume the same per-client timings, so a
+        policy comparison never mixes two latency derivations.
+        """
+        from repro.fl.latency import RoundTiming
+
+        ids = list(client_ids) if client_ids is not None else list(range(len(models)))
+        if not ids:
+            raise ValueError("no clients to time")
+        if not len(models) == len(steps_per_client) == len(ids):
+            raise ValueError("models/steps/client_ids lists must align")
+        return RoundTiming(
+            tuple(
+                self.client_timing(cid, model, steps, payload_bytes)
+                for cid, model, steps in zip(ids, models, steps_per_client)
+            )
+        )

@@ -24,6 +24,11 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.runtime.async_server import (
+    AggregationPolicy,
+    SyncAggregation,
+    make_aggregation_policy,
+)
 from repro.runtime.clock import VirtualClock
 from repro.runtime.executors import ClientExecutor, SerialExecutor, make_executor
 from repro.runtime.faults import NO_FAULTS, ClientFaults, FaultPlan, parse_fault_spec
@@ -31,7 +36,45 @@ from repro.runtime.faults import NO_FAULTS, ClientFaults, FaultPlan, parse_fault
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.data.federated import FederatedDataset
 
-__all__ = ["FLRuntime", "RoundOutcome"]
+__all__ = [
+    "FLRuntime",
+    "RoundOutcome",
+    "FAILURE_REASONS",
+    "STALE_EVICTED",
+    "ordered_failure_counts",
+]
+
+# A buffered update staler than the policy's max_staleness bound: evicted
+# from the server buffer instead of merged. Recorded against the round that
+# *evicted* the update, not the round that dispatched it.
+STALE_EVICTED = "stale-evicted"
+
+# The canonical failure taxonomy, in reporting order. failure_counts() and
+# summaries iterate this tuple so outputs are deterministic regardless of
+# the order failures were recorded in.
+FAILURE_REASONS = (
+    "dropout",
+    "uplink-lost",
+    "deadline",
+    "surplus",
+    STALE_EVICTED,
+    "worker-crash",
+)
+
+
+def ordered_failure_counts(reasons) -> dict[str, int]:
+    """Count failure reasons in the canonical taxonomy order.
+
+    Reasons outside :data:`FAILURE_REASONS` (custom runtimes) follow the
+    canonical ones, sorted lexicographically — never insertion order.
+    """
+    counts: dict[str, int] = {}
+    for reason in reasons:
+        counts[reason] = counts.get(reason, 0) + 1
+    ordered = {r: counts.pop(r) for r in FAILURE_REASONS if r in counts}
+    for r in sorted(counts):
+        ordered[r] = counts[r]
+    return ordered
 
 
 @dataclass
@@ -41,9 +84,16 @@ class RoundOutcome:
     ``failures`` maps client id → reason: ``"dropout"`` (never started),
     ``"uplink-lost"`` (all retransmissions lost), ``"deadline"`` (finished
     after the round deadline), ``"surplus"`` (on time, but the server had
-    already accepted its target K — over-provisioning headroom), or
+    already accepted its target K — over-provisioning headroom),
+    ``"stale-evicted"`` (a buffered update exceeded the policy's
+    ``max_staleness`` bound before the server merged it), or
     ``"worker-crash"`` (a real executor worker died and retries on fresh
     pools were exhausted — the one reason that is *not* injected).
+
+    ``staleness`` histograms the merged updates by server-version lag
+    (synchronous rounds record ``{0: n}``); ``buffer_len`` is the number
+    of updates still pending in the server buffer after this round's
+    aggregation (always 0 in the synchronous regime).
     """
 
     round_idx: int
@@ -52,12 +102,12 @@ class RoundOutcome:
     aggregated: list[int] = field(default_factory=list)
     failures: dict[int, str] = field(default_factory=dict)
     sim_time_s: float = 0.0
+    staleness: dict[int, int] = field(default_factory=dict)
+    buffer_len: int = 0
 
     def failure_counts(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for reason in self.failures.values():
-            counts[reason] = counts.get(reason, 0) + 1
-        return counts
+        """Per-reason counts in deterministic (taxonomy) order."""
+        return ordered_failure_counts(self.failures.values())
 
 
 @dataclass
@@ -69,6 +119,7 @@ class FLRuntime:
     deadline_s: "float | None" = None
     over_provision: bool = True
     clock: "VirtualClock | None" = None
+    aggregation: AggregationPolicy = field(default_factory=SyncAggregation)
 
     @property
     def faulty(self) -> bool:
@@ -78,6 +129,11 @@ class FLRuntime:
     @property
     def simulates_time(self) -> bool:
         return self.clock is not None
+
+    @property
+    def buffered(self) -> bool:
+        """Whether the server runs the FedBuff-style buffered regime."""
+        return self.aggregation.buffered
 
     def decide(self, round_idx: int, client_id: int) -> ClientFaults:
         if self.plan is None:
@@ -100,10 +156,15 @@ class FLRuntime:
         """Build the runtime an :class:`FLConfig` describes.
 
         Reads ``cfg.workers`` (executor), ``cfg.faults`` (fault spec
-        string), ``cfg.deadline`` and ``cfg.over_provision``. The virtual
-        clock is materialized only when a policy needs it (faults or a
-        deadline), so plain runs skip device sampling and FLOP profiling
-        entirely.
+        string), ``cfg.deadline``, ``cfg.over_provision`` and the
+        aggregation-policy fields (``cfg.aggregation`` / ``buffer_size`` /
+        ``staleness_alpha`` / ``max_staleness``). The virtual clock is
+        materialized only when a policy needs it (faults or a deadline), so
+        plain runs skip device sampling and FLOP profiling entirely —
+        identically in both aggregation regimes, which is what makes the
+        buffered regime's degenerate configuration bit-identical to sync.
+        Under ``aggregation="buffered"``, ``deadline`` only materializes
+        the clock; the buffer replaces the drop-late-clients policy.
         """
         spec = parse_fault_spec(getattr(cfg, "faults", None))
         plan = FaultPlan(spec, seed=cfg.seed) if spec is not None else None
@@ -125,4 +186,10 @@ class FLRuntime:
             deadline_s=deadline,
             over_provision=getattr(cfg, "over_provision", True),
             clock=clock,
+            aggregation=make_aggregation_policy(
+                getattr(cfg, "aggregation", "sync"),
+                buffer_size=getattr(cfg, "buffer_size", None),
+                staleness_alpha=getattr(cfg, "staleness_alpha", 0.5),
+                max_staleness=getattr(cfg, "max_staleness", None),
+            ),
         )

@@ -1,4 +1,6 @@
-"""Must-flag: mutable server state without a server_state() override."""
+"""Must-flag: mutable server state without a server_state() override, and
+checkpoint-hook overrides that drop the base class's state by never calling
+super()."""
 
 from collections import OrderedDict
 
@@ -17,3 +19,24 @@ class DriftingAlgorithm(FLAlgorithm):
     def aggregate(self, round_idx, updates):
         for u in updates:
             self.controls[u.client_id] = u.weight
+
+
+class BufferDroppingAlgorithm(FLAlgorithm):
+    """Overrides server_state but rebuilds the dict from scratch — the base
+    class's buffered-aggregation buffer never reaches the checkpoint."""
+
+    name = "BufferDropping"
+
+    def setup(self) -> None:
+        self.moments = OrderedDict()
+
+    def server_state(self) -> dict:
+        return {"moments": OrderedDict(self.moments)}  # no super() merge
+
+    def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
+        self.moments = OrderedDict(state["moments"])
+
+    def aggregate(self, round_idx, updates):
+        for u in updates:
+            self.moments[u.client_id] = u.weight

@@ -11,9 +11,12 @@ class CapturedAlgorithm(FLAlgorithm):
         self.controls = {}
 
     def server_state(self) -> dict:
-        return {"controls": dict(self.controls)}
+        state = super().server_state()  # base dict carries the update buffer
+        state["controls"] = dict(self.controls)
+        return state
 
     def load_server_state(self, state: dict) -> None:
+        super().load_server_state(state)
         self.controls = dict(state["controls"])
 
     def aggregate(self, round_idx, updates):

@@ -14,7 +14,7 @@ CASES = {
     "RPL201": ("rpl201_bad.py", "rpl201_good.py", 4),
     "RPL301": ("rpl301_bad.py", "rpl301_good.py", 4),
     "RPL302": ("rpl302_bad.py", "rpl302_good.py", 1),
-    "RPL401": ("rpl401_bad.py", "rpl401_good.py", 1),
+    "RPL401": ("rpl401_bad.py", "rpl401_good.py", 2),
     "RPL501": ("rpl501_bad.py", "rpl501_good.py", 2),
     "RPL502": ("rpl502_bad.py", "rpl502_good.py", 2),
 }

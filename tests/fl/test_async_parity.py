@@ -1,0 +1,175 @@
+"""Buffered-aggregation regime: parity anchor and staleness behaviour.
+
+The contract (DESIGN.md §10): ``aggregation="buffered"`` with
+``buffer_size`` equal to the per-round cohort and ``staleness_alpha = 0``
+must reproduce the synchronous run bit for bit — same
+``RunHistory.fingerprint()``, same weights — with and without fault
+injection. A *small* buffer genuinely changes the trajectory (updates land
+stale), records staleness histograms and buffer occupancy, and evicts
+updates beyond ``max_staleness`` as ``"stale-evicted"`` failures.
+
+Parity runs disable over-provisioning: the sync server marks surplus
+clients the buffered server would happily merge later, which is a real
+(intended) regime difference, not a bug.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core.fedkemf import FedKEMF
+from repro.data.federated import build_federated_dataset
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.fl.algorithms.base import FLConfig
+from repro.fl.algorithms.fedavg import FedAvg
+from repro.nn.models import build_model
+from repro.runtime.runtime import STALE_EVICTED
+
+ALGOS = {"fedavg": FedAvg, "fedkemf": FedKEMF}
+
+ROUNDS = 4
+# Straggler-heavy plan: no dropout, so slow updates *arrive* (late) instead
+# of disappearing — the interesting case for a buffer.
+FAULTS = "slowdown=6,straggler=0.4"
+
+
+@pytest.fixture(scope="module")
+def fed():
+    spec = SyntheticSpec(num_classes=4, channels=1, image_size=8, noise_std=0.25)
+    world = SyntheticImageDataset(spec, seed=0)
+    return build_federated_dataset(
+        world, num_clients=6, n_train=240, n_test=60, n_public=60, alpha=0.5, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def model_fn():
+    return functools.partial(
+        build_model, "mlp", num_classes=4, in_channels=1, image_size=8,
+        width_mult=0.25, seed=1,
+    )
+
+
+def make_cfg(**overrides) -> FLConfig:
+    base = dict(
+        rounds=ROUNDS, sample_ratio=0.5, local_epochs=1, batch_size=16,
+        seed=1, over_provision=False, distill_epochs=1,
+    )
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+def degenerate_cfg(algo, **overrides) -> FLConfig:
+    """The parity-anchor configuration: buffer as large as the cohort,
+    uniform (alpha = 0) weighting — must replay the sync run."""
+    return make_cfg(
+        aggregation="buffered",
+        buffer_size=algo.sampler.per_round,
+        staleness_alpha=0.0,
+        **overrides,
+    )
+
+
+def assert_same_weights(a, b) -> None:
+    sa, sb = a.global_model.state_dict(), b.global_model.state_dict()
+    assert list(sa) == list(sb)
+    for k in sa:
+        np.testing.assert_array_equal(sa[k], sb[k])
+
+
+class TestParityAnchor:
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_degenerate_buffered_is_sync_no_faults(self, name, fed, model_fn):
+        cls = ALGOS[name]
+        sync_algo = cls(model_fn, fed, make_cfg())
+        sync = sync_algo.run()
+        buf_algo = cls(model_fn, fed, degenerate_cfg(sync_algo))
+        buffered = buf_algo.run()
+        assert buffered.fingerprint() == sync.fingerprint()
+        assert_same_weights(buf_algo, sync_algo)
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_degenerate_buffered_is_sync_under_faults(self, name, fed, model_fn):
+        cls = ALGOS[name]
+        sync_algo = cls(model_fn, fed, make_cfg(faults=FAULTS))
+        sync = sync_algo.run()
+        buf_algo = cls(model_fn, fed, degenerate_cfg(sync_algo, faults=FAULTS))
+        buffered = buf_algo.run()
+        assert buffered.fingerprint() == sync.fingerprint()
+        assert_same_weights(buf_algo, sync_algo)
+
+    def test_sync_records_trivial_staleness(self, fed, model_fn):
+        history = FedAvg(model_fn, fed, make_cfg(faults=FAULTS)).run()
+        for r in history.records:
+            assert set(r.staleness) <= {0}
+            assert r.buffer_len == 0
+        assert list(history.buffer_occupancy) == [0] * ROUNDS
+
+    def test_runtime_meta_records_the_regime(self, fed, model_fn):
+        algo = FedAvg(model_fn, fed, make_cfg())
+        meta = algo.run().meta["runtime"]
+        assert meta["aggregation"] == "sync"
+        cohort = algo.sampler.per_round
+        buf = FedAvg(
+            model_fn,
+            fed,
+            make_cfg(aggregation="buffered", buffer_size=cohort, staleness_alpha=0.5),
+        )
+        meta = buf.run().meta["runtime"]
+        assert meta["aggregation"] == "buffered"
+        assert meta["buffer_size"] == cohort
+        assert meta["staleness_alpha"] == 0.5
+
+
+class TestSmallBuffer:
+    def run_buffered(self, fed, model_fn, **overrides):
+        base = dict(
+            aggregation="buffered", buffer_size=1, staleness_alpha=0.5,
+            faults=FAULTS,
+        )
+        base.update(overrides)
+        algo = FedAvg(model_fn, fed, make_cfg(**base))
+        return algo, algo.run()
+
+    def test_staleness_accumulates_and_trajectory_diverges(self, fed, model_fn):
+        sync = FedAvg(model_fn, fed, make_cfg(faults=FAULTS)).run()
+        algo, buffered = self.run_buffered(fed, model_fn)
+        # straggler updates landed in later server versions ...
+        hist = buffered.staleness_histogram()
+        assert any(s > 0 for s in hist)
+        # ... the backlog was visible mid-run ...
+        assert any(n > 0 for n in buffered.buffer_occupancy[:-1])
+        # ... and discounted stale fusion is a genuinely different trajectory.
+        assert buffered.fingerprint() != sync.fingerprint()
+
+    def test_end_of_run_flush_empties_the_buffer(self, fed, model_fn):
+        algo, buffered = self.run_buffered(fed, model_fn)
+        assert len(algo._update_buffer) == 0
+        assert buffered.records[-1].buffer_len == 0
+        # every merged update is accounted for in the histogram, and each
+        # round's participation count matches its staleness entries
+        for r in buffered.records:
+            assert r.num_selected == sum(r.staleness.values())
+        merged = sum(buffered.staleness_histogram().values())
+        assert merged == sum(r.num_selected for r in buffered.records)
+
+    def test_max_staleness_evicts_and_records(self, fed, model_fn):
+        algo, buffered = self.run_buffered(fed, model_fn, max_staleness=0)
+        counts = buffered.total_failures()
+        assert counts.get(STALE_EVICTED, 0) > 0
+        # nothing stale was merged: the bound actually gated fusion
+        assert set(buffered.staleness_histogram()) <= {0}
+
+    def test_alpha_zero_small_buffer_still_merges_uniformly(self, fed, model_fn):
+        """alpha = 0 with a small buffer is NOT the sync run (updates land
+        late) but every merge keeps full weight — the staleness histogram
+        shows lag while the discount stays 1.0 (exercised through the
+        all-fresh fast path never firing yet weights staying uniform)."""
+        _, a = self.run_buffered(fed, model_fn, staleness_alpha=0.0)
+        _, b = self.run_buffered(fed, model_fn, staleness_alpha=2.0)
+        assert any(s > 0 for s in a.staleness_histogram())
+        # same arrivals, different discounts ⇒ different trajectories
+        assert a.fingerprint() != b.fingerprint()

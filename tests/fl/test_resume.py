@@ -120,6 +120,53 @@ class TestResumeParity:
         assert history.num_rounds == RESUME_AT
 
 
+class TestBufferedResume:
+    """Mid-buffer checkpoint/resume: the server buffer rides inside
+    ``server_state()`` and a run killed with updates still pending must
+    replay bit-identically (DESIGN.md §10)."""
+
+    # Straggler-heavy, no dropout: a small buffer accumulates a genuine
+    # backlog, so the checkpoint at RESUME_AT captures pending updates.
+    BUFFERED = dict(
+        aggregation="buffered", buffer_size=1, staleness_alpha=0.5,
+        max_staleness=6, faults="slowdown=6,straggler=0.4",
+        over_provision=False,
+    )
+
+    @pytest.mark.parametrize("name", ["fedavg", "fedkemf"])
+    def test_mid_buffer_resume_bit_identical(self, name, fed, model_fn, tmp_path):
+        cls = ALGOS[name]
+        straight = cls(model_fn, fed, make_cfg(**self.BUFFERED))
+        full = straight.run()
+
+        leg1 = cls(model_fn, fed, make_cfg(**self.BUFFERED))
+        leg1.run(RESUME_AT, checkpoint_dir=tmp_path)
+        # the scenario is only interesting if the kill really was mid-buffer
+        assert len(leg1._update_buffer) > 0
+
+        resumed = cls(model_fn, fed, make_cfg(**self.BUFFERED))
+        got = resumed.run(ROUNDS, checkpoint_dir=tmp_path, resume_from=True)
+        assert history_key(got) == history_key(full)
+        assert got.fingerprint() == full.fingerprint()
+        assert_same_weights(resumed, straight)
+
+    def test_checkpoint_carries_the_buffer(self, fed, model_fn, tmp_path):
+        algo = FedAvg(model_fn, fed, make_cfg(**self.BUFFERED))
+        algo.run(RESUME_AT, checkpoint_dir=tmp_path, checkpoint_name="buf")
+        ckpt = load_run_checkpoint(run_checkpoint_path(tmp_path, "buf"))
+        buffer = ckpt.server_state["_async_buffer"]
+        assert buffer["version"] == RESUME_AT
+        assert len(buffer["pending"]) == len(algo._update_buffer)
+        assert len(buffer["pending"]) > 0
+
+    def test_sync_checkpoint_has_no_buffer_key(self, fed, model_fn, tmp_path):
+        FedAvg(model_fn, fed, make_cfg()).run(
+            RESUME_AT, checkpoint_dir=tmp_path, checkpoint_name="plain"
+        )
+        ckpt = load_run_checkpoint(run_checkpoint_path(tmp_path, "plain"))
+        assert "_async_buffer" not in ckpt.server_state
+
+
 class TestResumeValidation:
     def test_fingerprint_mismatch_rejected(self, fed, model_fn, tmp_path):
         FedAvg(model_fn, fed, make_cfg()).run(RESUME_AT, checkpoint_dir=tmp_path)
