@@ -10,9 +10,15 @@ This bench runs the same FedAvg federation through both regimes on the
 virtual clock and charts accuracy against *cumulative simulated time* —
 the paper-style time-to-accuracy comparison. The buffered run must reach
 the target accuracy in less simulated time than the synchronous run.
+
+Runnable standalone for CI smoke checks (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_async.py --smoke
 """
 
+import argparse
 import functools
+import sys
 
 import numpy as np
 import pytest
@@ -120,3 +126,62 @@ def test_async_time_to_accuracy(benchmark, save_result):
     assert t_buffered < t_sync
     # The harvesting actually happened: some merges were stale.
     assert any(s > 0 for s in buffered.staleness_histogram())
+
+
+# --------------------------------------------------------------------- #
+# standalone smoke entry point (CI: no pytest-benchmark required)
+# --------------------------------------------------------------------- #
+
+
+def _smoke() -> int:
+    """Fast correctness pass for CI: a short run of both regimes must
+    complete, the buffered server must actually harvest stragglers (stale
+    merges happened), and its total simulated time must not exceed the
+    synchronous run's. Wall-clock timings are not asserted."""
+    rounds = 4
+    fed = _federation()
+    model_fn = _model_fn()
+    sync = FedAvg(model_fn, fed, _config(rounds=rounds)).run()
+    buffered = FedAvg(
+        model_fn,
+        fed,
+        _config(
+            rounds=rounds,
+            aggregation="buffered",
+            buffer_size=2,
+            staleness_alpha=0.5,
+            max_staleness=6,
+        ),
+    ).run()
+    assert sync.num_rounds == rounds and buffered.num_rounds == rounds
+    assert any(s > 0 for s in buffered.staleness_histogram()), (
+        "buffered server never merged a stale update under the straggler plan"
+    )
+    t_sync = float(np.sum(sync.sim_times))
+    t_buffered = float(np.sum(buffered.sim_times))
+    assert t_buffered <= t_sync, (
+        f"buffered regime slower than sync on the virtual clock: "
+        f"{t_buffered:.3f}s > {t_sync:.3f}s"
+    )
+    print(
+        f"async smoke ok over {rounds} rounds: sync {t_sync:.3f}s, "
+        f"buffered {t_buffered:.3f}s simulated "
+        f"(staleness histogram {buffered.staleness_histogram()})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast correctness pass (CI); timings informational")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    print("run the full bench through pytest: "
+          "PYTHONPATH=src python -m pytest benchmarks/bench_async.py -q")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from repro.analysis.contracts import CONTRACT_RULES
 from repro.analysis.rules.aliasing import CacheEntryMutation, OutAliasesTensorData
 from repro.analysis.rules.autograd_ops import ForwardWithoutBackward, MissingSuperInit
 from repro.analysis.rules.base import AstRule, Rule, SourceModule, Violation
+from repro.analysis.rules.batched import PerClientLoop
 from repro.analysis.rules.checkpoint import MissingServerState
 from repro.analysis.rules.rng import GlobalNumpyRng, StdlibRandom, UnseededDefaultRng
 from repro.analysis.rules.wallclock import WallClockCall
@@ -35,6 +36,7 @@ AST_RULES: tuple[AstRule, ...] = (
     MissingServerState(),
     ForwardWithoutBackward(),
     MissingSuperInit(),
+    PerClientLoop(),
 )
 
 ALL_RULES: tuple[Rule, ...] = AST_RULES + CONTRACT_RULES

@@ -58,9 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument(
         "--executor",
         default=None,
-        choices=["serial", "parallel", "persistent"],
-        help="executor backend: serial, parallel (fork per round), or persistent "
-        "(long-lived worker pool; default: $REPRO_EXECUTOR or by --workers)",
+        choices=["serial", "parallel", "persistent", "batched"],
+        help="executor backend: serial, parallel (fork per round), persistent "
+        "(long-lived worker pool), or batched (homogeneous cohorts train as one "
+        "stacked program; default: $REPRO_EXECUTOR or by --workers)",
     )
     rt.add_argument(
         "--faults",

@@ -389,7 +389,12 @@ def conv2d(
         profiler.add_flops("conv2d", 2 * n * oc * out_h * out_w * c * kh * kw)
     if bias is not None:
         out = out + bias.data.reshape(1, oc, 1)
-    out = out.reshape(n, oc, out_h, out_w)
+    # einsum's optimized path returns a channel-fastest view; canonicalize to
+    # C order so downstream multi-axis reductions (BatchNorm statistics, pool
+    # means) always reduce in the same stride order — required for the
+    # batched executor's per-client-slice bit-identity (layout, not just
+    # values, decides the pairwise summation tree).
+    out = np.ascontiguousarray(out.reshape(n, oc, out_h, out_w))
 
     def bwd(g):
         gout = g.reshape(n, oc, -1)  # (N, OC, L)

@@ -1,0 +1,25 @@
+"""Must-flag: per-client Python loops over the stacked axis K."""
+
+import numpy as np
+
+
+def linear_k_slow(x, w, b, kk):
+    # one small matmul per client — the serial loop the stacked program
+    # exists to eliminate
+    out = np.empty((kk, x.shape[1], w.shape[1]), dtype=x.dtype)
+    for i in range(kk):
+        out[i] = x[i] @ w[i] + b[i]
+    return out
+
+
+class StackedThing:
+    def __init__(self, k):
+        self.k = k
+
+    def zero_grad_slow(self, grads):
+        for i in range(self.k):
+            grads[i][...] = 0.0
+
+    def scale_slow(self, params, factor, k):
+        for j in range(1, k):
+            params[j] *= factor

@@ -1,0 +1,35 @@
+"""Must-pass: the client axis stays inside vectorized calls; loops over
+anything else (epochs, batches, kernel offsets) are fine, and a per-client
+loop required for bit-identity carries the allow pragma."""
+
+import numpy as np
+
+
+def linear_k(x, w, b):
+    # client axis handled by one batched matmul
+    return np.einsum("knf,kfo->kno", x, w) + b[:, None, :]
+
+
+def batch_norm_stats_k(x, kk):
+    # per-slice float reduction: the pairwise-summation tree must match
+    # the serial kernel, so the loop is deliberate and annotated
+    means = np.empty((kk, x.shape[1]), dtype=x.dtype)
+    for i in range(kk):  # reprolint: allow[RPL601]
+        means[i] = x[i].mean(axis=0)
+    return means
+
+
+def train_epochs(batches, epochs):
+    total = 0.0
+    for _epoch in range(epochs):  # not the client axis: fine
+        for xb, _yb in batches:
+            total += float(xb.sum())
+    return total
+
+
+class StackedThing:
+    def __init__(self, k):
+        self.k = k
+
+    def zero_grad(self, grads):
+        grads[...] = 0.0  # one vectorized write covers every client

@@ -17,6 +17,7 @@ CASES = {
     "RPL401": ("rpl401_bad.py", "rpl401_good.py", 2),
     "RPL501": ("rpl501_bad.py", "rpl501_good.py", 2),
     "RPL502": ("rpl502_bad.py", "rpl502_good.py", 2),
+    "RPL601": ("rpl601_bad.py", "rpl601_good.py", 3),
 }
 
 

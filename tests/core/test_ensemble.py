@@ -12,6 +12,8 @@ from repro.core.ensemble import (
     ensemble_mean,
     ensemble_vote,
     member_logits,
+    stack_member_logits,
+    weighted_ensemble_logits,
 )
 from repro.data.synthetic import make_blobs
 from repro.nn.models import MLP
@@ -80,6 +82,85 @@ class TestDispatch:
             ensemble_logits(np.zeros((2, 3)), "max")
         with pytest.raises(ValueError):
             ensemble_logits(np.zeros((0, 3, 4)), "max")
+
+
+class TestWeightedEnsembleEdgeCases:
+    """Staleness-discounted ensembling (buffered FL) at its boundaries."""
+
+    @pytest.mark.parametrize("strategy", ["max", "mean", "vote"])
+    def test_single_member_buffer(self, strategy):
+        # A buffer that drained with one update: the member's own logits
+        # must come back (up to the weight scaling for max) — no crash on
+        # the degenerate M=1 axis.
+        s = stacked(m=1)
+        out = weighted_ensemble_logits(s, strategy, weights=[0.5])
+        assert out.shape == s.shape[1:]
+        if strategy == "mean":
+            np.testing.assert_array_equal(out, s[0])  # average of one
+        if strategy == "max":
+            np.testing.assert_array_equal(out, (0.5 * s[0]).astype(s.dtype))
+        if strategy == "vote":
+            # One member casting 0.5 ballots still wins every argmax slot.
+            np.testing.assert_array_equal(out.argmax(axis=1), s[0].argmax(axis=1))
+
+    def test_zero_staleness_weight_silences_member_mean(self):
+        s = stacked(m=3)
+        out = weighted_ensemble_logits(s, "mean", weights=[1.0, 0.0, 1.0])
+        expect = np.average(s, axis=0, weights=[1.0, 0.0, 1.0]).astype(s.dtype)
+        np.testing.assert_array_equal(out, expect)
+        # The silenced member's logits are irrelevant: perturbing them
+        # changes nothing.
+        s2 = s.copy()
+        s2[1] += 100.0
+        np.testing.assert_array_equal(
+            weighted_ensemble_logits(s2, "mean", weights=[1.0, 0.0, 1.0]), out
+        )
+
+    def test_zero_staleness_weight_silences_member_vote(self):
+        s = stacked(m=3)
+        out = weighted_ensemble_logits(s, "vote", weights=[1.0, 0.0, 1.0])
+        s2 = s.copy()
+        s2[1] = -s2[1]  # flip the dead member's votes
+        np.testing.assert_array_equal(
+            weighted_ensemble_logits(s2, "vote", weights=[1.0, 0.0, 1.0]), out
+        )
+
+    def test_weights_need_not_sum_to_one(self):
+        # Discounts are raw multipliers, not a distribution; np.average
+        # normalizes internally, so scaling every weight is a no-op for
+        # mean, and max/vote only care about relative magnitude vs content.
+        s = stacked(m=4)
+        w = [2.0, 0.5, 1.5, 3.0]  # sums to 7
+        out = weighted_ensemble_logits(s, "mean", weights=w)
+        expect = np.average(s, axis=0, weights=w).astype(s.dtype)
+        np.testing.assert_array_equal(out, expect)
+        scaled = weighted_ensemble_logits(s, "mean", weights=[x / 7.0 for x in w])
+        np.testing.assert_allclose(scaled, out, rtol=1e-6)
+
+    def test_all_zero_or_negative_weights_rejected(self):
+        s = stacked(m=2)
+        with pytest.raises(ValueError):
+            weighted_ensemble_logits(s, "mean", weights=[0.0, 0.0])
+        with pytest.raises(ValueError):
+            weighted_ensemble_logits(s, "mean", weights=[1.0, -0.5])
+        with pytest.raises(ValueError):
+            weighted_ensemble_logits(s, "mean", weights=[1.0])  # wrong arity
+
+    @pytest.mark.parametrize("strategy", ["max", "mean", "vote"])
+    def test_unit_weights_delegate_bitwise(self, strategy):
+        # The buffered fast path: all-fresh merges must reproduce the
+        # synchronous teacher bit for bit, not just approximately.
+        ds = make_blobs(24, num_classes=4, dim=8, seed=3)
+        models = [MLP(8, 4, seed=s) for s in range(3)]
+        s = stack_member_logits(models, ds.x, batch_size=16)
+        unweighted = ensemble_logits(s, strategy)
+        np.testing.assert_array_equal(
+            weighted_ensemble_logits(s, strategy, weights=[1.0, 1.0, 1.0]),
+            unweighted,
+        )
+        np.testing.assert_array_equal(
+            weighted_ensemble_logits(s, strategy, weights=None), unweighted
+        )
 
 
 class TestMemberLogits:

@@ -105,6 +105,34 @@ class TestIndexCacheImmutable:
         b, _, _ = _im2col_strided(x, 3, 3, 2, 1)
         np.testing.assert_array_equal(a, b)  # ...and still correct
 
+    def test_lru_cap_evicts_without_breaking_frozen_entries(self):
+        """The memo is bounded (maxsize=256): a flood of distinct geometries
+        — e.g. from batched cohort groups — must evict old entries instead
+        of growing without limit, and entries recomputed after eviction must
+        carry the same read-only invariant and the same values."""
+        maxsize = im2col_indices.cache_info().maxsize
+        assert maxsize == 256  # the cap this test pins
+        im2col_indices.cache_clear()
+        geometry = (3, 8, 8, 3, 3, 1, 1)
+        k1, i1, j1, oh1, ow1 = im2col_indices(*geometry)
+        # Flood the cache past its cap with distinct geometries.
+        for h in range(maxsize + 8):
+            im2col_indices(1, 8 + h, 8, 3, 3, 1, 1)
+        info = im2col_indices.cache_info()
+        assert info.currsize <= maxsize  # capped, not unbounded
+        # The original entry was evicted; the recomputed one is a *new*
+        # object with identical frozen contents.
+        k2, i2, j2, oh2, ow2 = im2col_indices(*geometry)
+        assert i2 is not i1
+        for arr in (k2, i2, j2):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+        np.testing.assert_array_equal(k2, k1)
+        np.testing.assert_array_equal(i2, i1)
+        np.testing.assert_array_equal(j2, j1)
+        assert (oh2, ow2) == (oh1, ow1)
+
 
 class TestConvGradcheck:
     """Central-difference gradcheck through the *fast* kernels: conv2d

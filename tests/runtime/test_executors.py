@@ -212,3 +212,62 @@ class TestPersistentExecutor:
         got = ex.run_round(_square_work, tasks)  # forks a fresh pool
         assert ex.last_round_mode == "shipped" and len(got) == len(tasks)
         ex.close()
+
+
+@needs_fork
+class TestPersistentBufferedFallback:
+    """An unpicklable algorithm snapshot (local-closure model factory) on
+    the persistent executor must degrade to the per-round fork path — and
+    the buffered-aggregation server state riding on top of the run (the
+    update buffer, staleness bookkeeping) must come through untouched."""
+
+    def _run(self, fed, model_fn, executor):
+        from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
+
+        cfg = FLConfig(
+            rounds=3,
+            sample_ratio=0.5,
+            local_epochs=1,
+            batch_size=16,
+            seed=1,
+            faults="slowdown=10,straggler=0.4",
+            aggregation="buffered",
+            buffer_size=2,
+            staleness_alpha=0.5,
+            max_staleness=6,
+            executor=executor,
+            workers=2,
+        )
+        algo = ALGORITHM_REGISTRY.get("fedavg")(model_fn, fed, cfg)
+        try:
+            history = algo.run()
+        finally:
+            algo.runtime.executor.close()
+        return algo, history
+
+    def test_unpicklable_algo_keeps_buffer_semantics(self, micro_fed):
+        from repro.nn.models import build_model
+
+        def model_fn():  # local closure: defeats pickle-by-reference
+            return build_model(
+                "mlp", num_classes=4, in_channels=1, image_size=8,
+                width_mult=0.25, seed=1,
+            )
+
+        with pytest.raises(Exception):
+            pickle.dumps(model_fn)  # the premise: the snapshot cannot ship
+
+        ref_algo, ref = self._run(micro_fed, model_fn, "serial")
+        algo, got = self._run(micro_fed, model_fn, "persistent")
+        # Shipping failed silently-gracefully: the round ran via fork.
+        assert algo.runtime.executor.last_round_mode == "forked"
+        # The buffered server regime is intact: identical history (the
+        # fingerprint covers per-round merges), identical staleness mix,
+        # and the straggler plan really did produce stale merges to keep.
+        assert got.fingerprint() == ref.fingerprint()
+        assert got.staleness_histogram() == ref.staleness_histogram()
+        assert any(s > 0 for s in got.staleness_histogram())
+        ref_state = ref_algo.global_model.state_dict()
+        state = algo.global_model.state_dict()
+        for k in ref_state:
+            np.testing.assert_array_equal(ref_state[k], state[k], err_msg=k)
