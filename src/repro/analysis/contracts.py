@@ -17,7 +17,12 @@ operations the runtime performs:
   ``server_state`` must reproduce the original state (else checkpoints
   drift on resume);
 - RPL904: ``config_fingerprint`` must be invariant under worker-count /
-  executor changes (resume-anywhere is part of the checkpoint contract).
+  executor changes (resume-anywhere is part of the checkpoint contract);
+- RPL905: a stateful :class:`~repro.fl.robust.RobustAggregator` (e.g.
+  autoclip's running threshold) must ride through ``server_state()`` under
+  the reserved ``"_defense"`` key and survive the
+  ``load_server_state`` round trip — else a defended run resumes with an
+  amnesiac defense and drifts.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ __all__ = [
     "AlgorithmPicklable",
     "ServerStateRoundTrip",
     "FingerprintExecutionFree",
+    "RobustStateRoundTrip",
     "algorithm_entries",
     "run_contract_checks",
 ]
@@ -288,11 +294,73 @@ class FingerprintExecutionFree(ContractRule):
             )
 
 
+class RobustStateRoundTrip(ContractRule):
+    code = "RPL905"
+    name = "robust-defense-state-roundtrip"
+    invariant = (
+        "a stateful RobustAggregator rides through server_state() under "
+        "the '_defense' key and survives the load_server_state round trip "
+        "— defended runs must resume bit-identically"
+    )
+
+    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+        from repro.fl.robust import default_defenses
+
+        original = algo.defense
+        try:
+            for defense in default_defenses():
+                if not defense.stateful:
+                    continue
+                algo.defense = defense
+                try:
+                    # Arm the defense with one tiny combine so its mutable
+                    # state is non-trivial (autoclip's threshold stays None
+                    # until it has seen a round of norms).
+                    ref = algo.global_model.state_dict()
+                    member = {k: np.asarray(v) + 0.125 for k, v in ref.items()}
+                    defense.combine([member, ref], [1.0, 1.0], reference=ref)
+                    armed = defense.state()
+                    state = algo.server_state()
+                    if "_defense" not in state:
+                        yield self.fail(
+                            cls,
+                            f"{name}: server_state() omits the '_defense' key while a "
+                            f"stateful defense ({type(defense).__name__}) is active — "
+                            "the override likely rebuilds the dict without merging "
+                            "super().server_state(); a defended run resumes with an "
+                            "amnesiac defense and drifts",
+                        )
+                        continue
+                    restored = pickle.loads(
+                        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                    # Restore into a *fresh* (amnesiac) defense instance, the
+                    # way a resumed process starts, and compare states.
+                    algo.defense = type(defense)()
+                    algo.load_server_state(restored)
+                    if not _deep_equal(algo.defense.state(), armed):
+                        yield self.fail(
+                            cls,
+                            f"{name}: a stateful defense "
+                            f"({type(defense).__name__}) does not survive the "
+                            "server_state/load_server_state round trip — "
+                            "defended resumes will drift",
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    yield self.fail(
+                        cls,
+                        f"{name}: defense state round trip raised ({exc!r})",
+                    )
+        finally:
+            algo.defense = original
+
+
 CONTRACT_RULES: tuple[ContractRule, ...] = (
     PayloadPicklable(),
     AlgorithmPicklable(),
     ServerStateRoundTrip(),
     FingerprintExecutionFree(),
+    RobustStateRoundTrip(),
 )
 
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.distill import DistillConfig
-from repro.core.fusion import fuse_ensemble_distill, fuse_weight_average
+from repro.core.fusion import fuse_ensemble_distill
 from repro.core.mutual import DeepMutualTrainer, train_stacked_mutual
+from repro.data.dataset import ArrayDataset
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
 from repro.nn.batched import build_stacked
 from repro.nn.module import Module
 from repro.nn.serialization import state_dict_signature
+from repro.runtime.adversary import LABELFLIP
 from repro.runtime.executors import ClientUpdate
 from repro.runtime.runtime import FLRuntime
 
@@ -105,6 +107,31 @@ class FedKEMF(FLAlgorithm):
             seed=self.cfg.seed,
         )
         self.last_distill_loss: float | None = None
+        # Flipped-label DeepMutualTrainer clones, mirroring the base
+        # class's _labelflip_trainers for the mutual-learning local pass.
+        self._labelflip_mutual_trainers: "dict[int, DeepMutualTrainer]" = {}
+
+    def _mutual_trainer(self, round_idx: int, cid: int) -> DeepMutualTrainer:
+        """The mutual trainer for this (round, client) pair: the honest
+        one, or a flipped-label clone under the adversary's ``labelflip``
+        role (same hyperparameters and seed → identical batch schedule)."""
+        if self.runtime.attack_role(round_idx, cid) != LABELFLIP:
+            return self.mutual_trainers[cid]
+        trainer = self._labelflip_mutual_trainers.get(cid)
+        if trainer is None:
+            base = self.mutual_trainers[cid]
+            x, y = base.dataset.arrays()
+            trainer = DeepMutualTrainer(
+                ArrayDataset(x, (self.fed.num_classes - 1) - y),
+                batch_size=base.batch_size,
+                lr=base.lr,
+                momentum=base.momentum,
+                weight_decay=base.weight_decay,
+                kl_weight=base.kl_weight,
+                seed=base.seed,
+            )
+            self._labelflip_mutual_trainers[cid] = trainer
+        return trainer
 
     def server_state(self) -> dict:
         # The heterogeneous local models are the on-device deployment
@@ -128,7 +155,7 @@ class FedKEMF(FLAlgorithm):
         # Client loads θ_g (tiny payload) into its working copy.
         self._scratch.load_state_dict(payload["state"])
         # Alg. 1: deep mutual learning of (θ, θ_g) on the local shard.
-        stats = self.mutual_trainers[cid].train(
+        stats = self._mutual_trainer(round_idx, cid).train(
             self.local_models[cid],
             self._scratch,
             epochs=self.cfg.local_epochs,
@@ -162,6 +189,8 @@ class FedKEMF(FLAlgorithm):
             state = payload.get("state")
             if state is None or state_dict_signature(state) != sig:
                 continue
+            if self.runtime.attack_role(round_idx, cid) == LABELFLIP:
+                continue  # trains a flipped-label view: serial client_work path
             local = self.local_models[cid]
             key = (
                 type(local),
@@ -208,11 +237,19 @@ class FedKEMF(FLAlgorithm):
         client_states = [u.received["state"] for u in updates]
         weights = [u.weight for u in updates]
         if self.cfg.fusion == "weight-average":
-            fuse_weight_average(self.global_model, client_states, weights)
+            # Undefended this is fuse_weight_average verbatim; with a
+            # defense, the robust policy fuses the knowledge networks.
+            new_state = self._combine_states(
+                client_states, weights, reference=self.global_model.state_dict(copy=False)
+            )
+            self.global_model.load_state_dict(new_state)
         else:
             # member_weights: the buffered regime's staleness discounts
             # (None under synchronous / all-fresh aggregation — keeping the
             # teacher bit-identical to the pre-buffer behaviour).
+            # member_filter: the defense's confidence/outlier veto over the
+            # ensemble teacher (a no-op returning member_weights unchanged
+            # when no defense is configured).
             self.last_distill_loss = fuse_ensemble_distill(
                 self.global_model,
                 self._scratch,
@@ -223,6 +260,7 @@ class FedKEMF(FLAlgorithm):
                 distill_config=self._distill_config,
                 init_from_average=self.cfg.distill_init_from_average,
                 member_weights=self._staleness_discounts,
+                member_filter=self._ensemble_member_filter,
             )
 
     def client_compute_model(self, cid: int) -> Module:

@@ -44,6 +44,7 @@ def fuse_ensemble_distill(
     distill_config: DistillConfig,
     init_from_average: bool = True,
     member_weights: "Sequence[float] | None" = None,
+    member_filter=None,
 ) -> float:
     """Fusion method 2 (the paper's): ensemble then distill (Alg. 2).
 
@@ -57,6 +58,13 @@ def fuse_ensemble_distill(
     itself — the buffered server regime passes its staleness discounts
     here so a stale member shapes the teacher less. ``None`` or all-unit
     weights keep the unweighted teacher bit-identical to before.
+
+    ``member_filter``, when given, is called as
+    ``member_filter(stacked, member_weights)`` on the full (M, N, C) logit
+    stack and may veto/down-weight members before the teacher is formed —
+    the robust-aggregation seam that drops corrupted-logit knowledge
+    networks. Returning ``member_weights`` unchanged keeps the teacher
+    bitwise identical to the unfiltered path.
 
     Returns the final distillation loss.
     """
@@ -77,6 +85,8 @@ def fuse_ensemble_distill(
             stacked[0] = first
         else:
             member_logits(scratch, x, batch_size=chunk, out=stacked[mi])
+    if member_filter is not None:
+        member_weights = member_filter(stacked, member_weights)
     teacher = weighted_ensemble_logits(stacked, strategy, member_weights)
 
     if init_from_average:

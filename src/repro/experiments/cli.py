@@ -66,8 +66,23 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument(
         "--faults",
         default=None,
-        help="fault injection spec, e.g. 'dropout=0.3,loss=0.1,slowdown=4' "
+        help="fault injection spec; mixes infrastructure and Byzantine attack "
+        "keys, e.g. 'dropout=0.3,loss=0.1' or 'signflip=0.2,scale=10@0.1' "
         "(default: $REPRO_FAULTS)",
+    )
+    rt.add_argument(
+        "--defense",
+        default=None,
+        help="robust server aggregation: mean | clip[=tau] | autoclip | "
+        "trimmed[=beta] | median | krum[=f] (default: $REPRO_DEFENSE; "
+        "unset = plain averaging)",
+    )
+    rt.add_argument(
+        "--norm-ceiling",
+        type=float,
+        default=None,
+        help="server-boundary gate: reject client updates whose L2 delta from "
+        "the global model exceeds this norm (default: $REPRO_NORM_CEILING)",
     )
     rt.add_argument(
         "--deadline",
@@ -192,6 +207,10 @@ def main(argv: "list[str] | None" = None) -> int:
         os.environ["REPRO_EXECUTOR"] = args.executor
     if args.faults is not None:
         os.environ["REPRO_FAULTS"] = args.faults
+    if args.defense is not None:
+        os.environ["REPRO_DEFENSE"] = args.defense
+    if args.norm_ceiling is not None:
+        os.environ["REPRO_NORM_CEILING"] = str(args.norm_ceiling)
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
     if args.aggregation is not None:

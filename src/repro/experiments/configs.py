@@ -175,7 +175,10 @@ def runtime_defaults() -> dict:
     buffered), ``REPRO_BUFFER_SIZE`` (int), ``REPRO_STALENESS_ALPHA``
     (float) and ``REPRO_MAX_STALENESS`` (int) map onto the buffered-server
     fields ``aggregation`` / ``buffer_size`` / ``staleness_alpha`` /
-    ``max_staleness``. The CLI's ``--workers/--executor/--faults/
+    ``max_staleness``; ``REPRO_DEFENSE`` (robust-aggregation spec, e.g.
+    ``"trimmed=0.3"``) and ``REPRO_NORM_CEILING`` (float) map onto the
+    Byzantine-robustness fields ``defense`` / ``norm_ceiling``. The CLI's
+    ``--workers/--executor/--faults/--defense/--norm-ceiling/
     --deadline/--aggregation/--buffer-size/--staleness-alpha/
     --max-staleness`` flags set these variables so one invocation
     configures every run it spawns. Unset variables are omitted, leaving
@@ -191,6 +194,12 @@ def runtime_defaults() -> dict:
     faults = os.environ.get("REPRO_FAULTS")
     if faults:
         out["faults"] = faults
+    defense = os.environ.get("REPRO_DEFENSE")
+    if defense:
+        out["defense"] = defense.strip().lower()
+    norm_ceiling = os.environ.get("REPRO_NORM_CEILING")
+    if norm_ceiling:
+        out["norm_ceiling"] = float(norm_ceiling)
     deadline = os.environ.get("REPRO_DEADLINE")
     if deadline:
         out["deadline"] = float(deadline)

@@ -23,7 +23,19 @@ from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.trainer import LocalTrainer, TrainStats
 from repro.fl.devices import DeviceProfile, DEVICE_TIERS, assign_models_by_resources
 from repro.fl.latency import estimate_client_time, estimate_round_time, simulate_epoch_times
-from repro.fl.checkpoint import CheckpointManager, save_history, load_history
+from repro.fl.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    save_history,
+    load_history,
+)
+from repro.fl.robust import (
+    DEFENSE_KINDS,
+    RobustAggregator,
+    confidence_member_weights,
+    parse_defense,
+    validate_update,
+)
 from repro.fl.algorithms import (
     ALGORITHM_REGISTRY,
     FLAlgorithm,
@@ -57,9 +69,15 @@ __all__ = [
     "estimate_client_time",
     "estimate_round_time",
     "simulate_epoch_times",
+    "CheckpointError",
     "CheckpointManager",
     "save_history",
     "load_history",
+    "DEFENSE_KINDS",
+    "RobustAggregator",
+    "confidence_member_weights",
+    "parse_defense",
+    "validate_update",
     "ALGORITHM_REGISTRY",
     "FLAlgorithm",
     "FLConfig",

@@ -35,6 +35,7 @@ from collections import defaultdict
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro.data.dataset import ArrayDataset
 from repro.data.federated import FederatedDataset
 from repro.fl.checkpoint import (
     RunCheckpoint,
@@ -45,11 +46,17 @@ from repro.fl.checkpoint import (
 from repro.fl.comm import Channel, CommMeter
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.metrics import average_local_accuracy, evaluate_model
+from repro.fl.robust import parse_defense, validate_update
 from repro.fl.sampler import ClientSampler
 from repro.fl.trainer import LocalTrainer, train_stacked
 from repro.nn.batched import build_stacked
 from repro.nn.module import Module
-from repro.nn.serialization import state_dict_num_bytes, state_dict_signature
+from repro.nn.serialization import (
+    average_states,
+    state_dict_num_bytes,
+    state_dict_signature,
+)
+from repro.runtime.adversary import LABELFLIP, poison_states
 from repro.runtime.async_server import (
     AGGREGATION_KINDS,
     BufferedMerge,
@@ -57,7 +64,12 @@ from repro.runtime.async_server import (
 )
 from repro.runtime.executors import EXECUTOR_KINDS, ClientUpdate
 from repro.runtime.faults import parse_fault_spec
-from repro.runtime.runtime import STALE_EVICTED, FLRuntime, RoundOutcome
+from repro.runtime.runtime import (
+    REJECTED_UPDATE,
+    STALE_EVICTED,
+    FLRuntime,
+    RoundOutcome,
+)
 from repro.utils.logging import get_logger
 from repro.utils.registry import Registry
 
@@ -110,6 +122,9 @@ class FLConfig:
     buffer_size: int | None = None  # buffered: merge after K arrivals (None = per-round K)
     staleness_alpha: float = 0.5  # buffered: discount w(s) = 1/(1+s)^alpha
     max_staleness: int | None = None  # buffered: evict updates staler than this
+    # Byzantine robustness (repro.fl.robust)
+    defense: str | None = None  # mean | clip[=tau] | autoclip | trimmed[=beta] | median | krum[=f]
+    norm_ceiling: float | None = None  # validate_update: reject state deltas above this L2 norm
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -146,7 +161,10 @@ class FLConfig:
             )
         if self.max_staleness is not None and self.max_staleness < 0:
             raise ValueError(f"max_staleness must be >= 0; got {self.max_staleness}")
+        if self.norm_ceiling is not None and self.norm_ceiling <= 0:
+            raise ValueError(f"norm_ceiling must be positive; got {self.norm_ceiling}")
         parse_fault_spec(self.faults)  # raises on a malformed spec string
+        parse_defense(self.defense)  # raises on a malformed defense spec
 
     def with_overrides(self, **kwargs) -> "FLConfig":
         """Functional update (configs are frozen; revalidates)."""
@@ -215,12 +233,69 @@ class FLAlgorithm:
         # duration of one aggregate() call so fusion-based algorithms can
         # weight ensemble members; None whenever every update is fresh.
         self._staleness_discounts: "list[float] | None" = None
+        # Robust aggregation policy (None = plain averaging, the bitwise
+        # pre-defense path). Stateful defenses ride in server_state().
+        self.defense = parse_defense(config.defense)
+        # Lazily-built flipped-label trainer clones for clients the
+        # adversary assigns the labelflip role (training-time attack).
+        self._labelflip_trainers: "dict[int, LocalTrainer]" = {}
         self.setup()
 
     # hooks ------------------------------------------------------------- #
 
     def setup(self) -> None:
         """Algorithm-specific state initialization (control variates, ...)."""
+
+    # adversary / defense ------------------------------------------------ #
+
+    def _labelflip_trainer(self, cid: int) -> LocalTrainer:
+        """A clone of client ``cid``'s trainer over a flipped-label view
+        (``y → C−1−y``). Same hyperparameters and the *same seed*, so the
+        shuffle schedule — hence the batch order — is identical to the
+        honest trainer's; only the labels differ."""
+        trainer = self._labelflip_trainers.get(cid)
+        if trainer is None:
+            base = self.trainers[cid]
+            x, y = base.dataset.arrays()
+            flipped = ArrayDataset(x, (self.fed.num_classes - 1) - y)
+            trainer = LocalTrainer(
+                flipped,
+                batch_size=base.batch_size,
+                lr=base.lr,
+                momentum=base.momentum,
+                weight_decay=base.weight_decay,
+                seed=base.seed,
+            )
+            self._labelflip_trainers[cid] = trainer
+        return trainer
+
+    def _client_trainer(self, round_idx: int, cid: int) -> LocalTrainer:
+        """The trainer a client-work hook must use for this (round, client)
+        pair: the honest one, or the flipped-label clone when the adversary
+        assigns the ``labelflip`` role. Pure in ``(seed, round, client)``,
+        so every executor backend resolves the same trainer."""
+        if self.runtime.attack_role(round_idx, cid) == LABELFLIP:
+            return self._labelflip_trainer(cid)
+        return self.trainers[cid]
+
+    def _combine_states(self, states, weights, reference=None):
+        """Fuse client state dicts under the configured robust-aggregation
+        policy. With no defense this *is* :func:`average_states` — the
+        bitwise pre-defense path every fingerprint replay relies on.
+        ``reference`` (round-start global state for full-weight inputs,
+        ``None`` for delta-space inputs) anchors norm-clipping defenses."""
+        if self.defense is None:
+            return average_states(states, weights)
+        return self.defense.combine(states, weights, reference=reference)
+
+    def _ensemble_member_filter(self, stacked, base=None):
+        """Member weights for an (M, N, C) ensemble logit stack under the
+        configured defense; returns ``base`` unchanged (possibly ``None``)
+        when no defense is set or nothing is filtered, preserving the
+        bitwise unweighted ensemble path."""
+        if self.defense is None:
+            return base
+        return self.defense.member_filter(stacked, base)
 
     def client_payload(self, round_idx: int, cid: int) -> dict:
         """Parent-side: build (and meter) one client's downlink payload.
@@ -243,7 +318,8 @@ class FLAlgorithm:
         parallel executor).
         """
         self._scratch.load_state_dict(payload["state"])
-        stats = self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+        trainer = self._client_trainer(round_idx, cid)
+        stats = trainer.train(self._scratch, self.cfg.local_epochs, round_idx)
         return ClientUpdate(
             client_id=cid,
             states={"state": self._scratch.state_dict()},
@@ -278,6 +354,8 @@ class FLAlgorithm:
             state = payload.get("state")
             if state is None or state_dict_signature(state) != sig:
                 continue
+            if self.runtime.attack_role(round_idx, cid) == LABELFLIP:
+                continue  # trains a flipped-label view: serial client_work path
             shard = len(self.fed.client_train[cid])
             groups.setdefault(shard, []).append((cid, payload))
         results: "dict[int, ClientUpdate]" = {}
@@ -374,12 +452,19 @@ class FLAlgorithm:
         state: dict = {}
         if self._update_buffer is not None:
             state["_async_buffer"] = self._update_buffer.state()
+        if self.defense is not None and self.defense.stateful:
+            # Stateful defenses (autoclip's running threshold) must resume
+            # bit-identically or a restored run clips differently and
+            # drifts — the property reprolint RPL905 guards.
+            state["_defense"] = self.defense.state()
         return state
 
     def load_server_state(self, state: dict) -> None:
         """Restore what :meth:`server_state` captured (inverse hook)."""
         if self._update_buffer is not None and "_async_buffer" in state:
             self._update_buffer.load_state(state["_async_buffer"])
+        if self.defense is not None and self.defense.stateful and "_defense" in state:
+            self.defense.load_state(state["_defense"])
 
     def client_compute_model(self, cid: int) -> Module:
         """The model whose FLOPs dominate this client's local pass (drives
@@ -428,6 +513,22 @@ class FLAlgorithm:
         for update in updates:
             self.apply_client_update(update)
 
+        # Byzantine payload poisoning, parent-side: applied to the executor's
+        # honest output *after* on-device write-back (the attacker corrupts
+        # what it uploads, not its own device state) and before the metered
+        # uplink. Running it here — pure in (seed, round, client) — makes
+        # executor parity under attack trivial. labelflip already happened
+        # at training time via _client_trainer.
+        reference = self.global_model.state_dict(copy=False)
+        if rt.adversarial:
+            for update in updates:
+                role = rt.attack_role(round_idx, update.client_id)
+                if role is not None and role != LABELFLIP:
+                    poison_states(
+                        role, update.states, reference, rt.adversary,
+                        round_idx, update.client_id,
+                    )
+
         # Uplink with retransmission accounting + virtual completion times.
         times: dict[int, float] = {}
         survivors: "list[ClientUpdate]" = []
@@ -460,6 +561,20 @@ class FLAlgorithm:
                 )
             if attempts is None:
                 failures[cid] = "uplink-lost"  # bandwidth burnt, nothing arrived
+                continue
+            # Server-boundary admission gate: a payload that cleared the
+            # uplink can still be malformed or poisoned beyond the ceiling.
+            # Rejections enter the failure taxonomy; they never crash the
+            # server and never reach aggregation.
+            reason = validate_update(
+                received, reference=reference, norm_ceiling=self.cfg.norm_ceiling
+            )
+            if reason is not None:
+                failures[cid] = REJECTED_UPDATE
+                log.warning(
+                    "%s round %d: rejected update from client %d (%s)",
+                    self.name, round_idx + 1, cid, reason,
+                )
                 continue
             update.received = received
             survivors.append(update)
@@ -729,6 +844,8 @@ class FLAlgorithm:
             "buffer_size": self.cfg.buffer_size,
             "staleness_alpha": self.cfg.staleness_alpha,
             "max_staleness": self.cfg.max_staleness,
+            "defense": self.cfg.defense,
+            "norm_ceiling": self.cfg.norm_ceiling,
         }
         # Executors are context managers: pooled workers are released even
         # when a round raises; pools re-arm lazily, so a later run() just

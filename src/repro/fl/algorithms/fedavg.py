@@ -13,7 +13,6 @@ runtime), so FedAvg only supplies the server-side aggregation.
 from __future__ import annotations
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
-from repro.nn.serialization import average_states
 from repro.runtime.async_server import BufferedMerge
 from repro.runtime.executors import ClientUpdate
 
@@ -28,7 +27,13 @@ class FedAvg(FLAlgorithm):
     def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         states = [u.received["state"] for u in updates]
         weights = [u.weight for u in updates]
-        self.global_model.load_state_dict(average_states(states, weights))
+        # _combine_states is average_states verbatim with no defense
+        # configured, and the robust policy (clip/trimmed/median/krum)
+        # anchored on the round-start global state otherwise.
+        new_state = self._combine_states(
+            states, weights, reference=self.global_model.state_dict(copy=False)
+        )
+        self.global_model.load_state_dict(new_state)
 
     def aggregate_buffered(
         self, round_idx: int, merges: "list[BufferedMerge]"
@@ -58,7 +63,10 @@ class FedAvg(FLAlgorithm):
         if residual > 0.0:
             states.append(self.global_model.state_dict())
             weights.append(residual)
-        self.global_model.load_state_dict(average_states(states, weights))
+        new_state = self._combine_states(
+            states, weights, reference=self.global_model.state_dict(copy=False)
+        )
+        self.global_model.load_state_dict(new_state)
 
 
 ALGORITHM_REGISTRY.add("fedavg", FedAvg)

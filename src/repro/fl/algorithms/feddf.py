@@ -57,6 +57,7 @@ class FedDF(FLAlgorithm):
             strategy=strategy,
             distill_config=self._distill_config,
             member_weights=self._staleness_discounts,
+            member_filter=self._ensemble_member_filter,
         )
 
 

@@ -108,7 +108,9 @@ class FedMD(FLAlgorithm):
                 model, payload["consensus"], self._public_x, self._digest_config
             )
         # revisit: a few epochs on the private shard
-        stats = self.trainers[cid].train(model, self.cfg.local_epochs, round_idx)
+        stats = self._client_trainer(round_idx, cid).train(
+            model, self.cfg.local_epochs, round_idx
+        )
         # upload own public-set scores
         scores = member_logits(model, self._public_x, self._digest_config.batch_size)
         return ClientUpdate(
@@ -123,9 +125,20 @@ class FedMD(FLAlgorithm):
     def apply_client_update(self, update: ClientUpdate) -> None:
         self.client_models[update.client_id].load_state_dict(update.local_state)
 
+    def _consensus_from(self, uploads, base_weights) -> np.ndarray:
+        """Fuse client logit tables into the consensus. The (M, N, C)
+        stack runs through the defense's member filter, so corrupted
+        tables are vetoed before they shape the consensus; ``None``
+        resulting weights keep the unweighted mean path bitwise."""
+        stacked = np.stack(uploads)
+        weights = self._ensemble_member_filter(stacked, base_weights)
+        if weights is None:
+            return stacked.mean(axis=0).astype(np.float32)
+        return np.average(stacked, axis=0, weights=weights).astype(np.float32)
+
     def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         uploads = [u.received["scores"]["scores"] for u in updates]
-        self.consensus = np.mean(uploads, axis=0).astype(np.float32)
+        self.consensus = self._consensus_from(uploads, None)
 
     def aggregate_buffered(self, round_idx: int, merges) -> None:
         """Staleness-weighted consensus: a stale client's logit table
@@ -137,9 +150,7 @@ class FedMD(FLAlgorithm):
             return
         uploads = [m.update.received["scores"]["scores"] for m in merges]
         discounts = [m.discount for m in merges]
-        self.consensus = np.average(
-            np.stack(uploads), axis=0, weights=discounts
-        ).astype(np.float32)
+        self.consensus = self._consensus_from(uploads, discounts)
 
     def client_compute_model(self, cid: int) -> Module:
         return self.client_models[cid]

@@ -20,7 +20,6 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
-from repro.nn.serialization import average_states
 from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedNova"]
@@ -39,7 +38,8 @@ class FedNova(FLAlgorithm):
 
     def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
         self._scratch.load_state_dict(payload["state"])
-        stats = self.trainers[cid].train(self._scratch, self.cfg.local_epochs, round_idx)
+        trainer = self._client_trainer(round_idx, cid)
+        stats = trainer.train(self._scratch, self.cfg.local_epochs, round_idx)
         tau = max(stats.steps, 1)
         y_state = self._scratch.state_dict()
         # normalized update over *parameters* (buffers are averaged) against
@@ -80,9 +80,19 @@ class FedNova(FLAlgorithm):
         p = [w / total_w for w in weights]
         tau_eff = sum(pi * ti for pi, ti in zip(p, taus))
 
-        new_state = average_states(uploaded_states, weights)  # buffers (and a base)
+        # buffers (and a base); robustly fused when a defense is configured
+        new_state = self._combine_states(uploaded_states, weights, reference=global_state)
+        # The normalized gradients live in their own delta space, so the
+        # defense fuses them unanchored; undefended keeps the exact p-sum.
+        robust_delta = (
+            self.defense.combine(deltas, weights) if self.defense is not None else None
+        )
         for k in param_names:
-            combined = sum(pi * d[k] for pi, d in zip(p, deltas))
+            combined = (
+                np.asarray(robust_delta[k], dtype=np.float64)
+                if robust_delta is not None
+                else sum(pi * d[k] for pi, d in zip(p, deltas))
+            )
             new_state[k] = (
                 np.asarray(global_state[k], dtype=np.float64)
                 - self.cfg.server_lr * tau_eff * combined

@@ -25,7 +25,6 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
-from repro.nn.serialization import average_states
 from repro.runtime.executors import ClientUpdate
 
 __all__ = ["FedAvgM", "FedAdam"]
@@ -38,7 +37,9 @@ class _FedOptBase(FLAlgorithm):
         global_state = self.global_model.state_dict()
         states = [u.received["state"] for u in updates]
         weights = [u.weight for u in updates]
-        avg = average_states(states, weights)
+        # Robustly fused client average (plain average_states undefended);
+        # the server optimizer then steps on the fused pseudo-gradient.
+        avg = self._combine_states(states, weights, reference=global_state)
         param_names = {name for name, _ in self.global_model.named_parameters()}
         delta = OrderedDict(
             (k, np.asarray(avg[k], dtype=np.float64) - np.asarray(global_state[k], dtype=np.float64))

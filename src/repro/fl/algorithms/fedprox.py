@@ -35,7 +35,7 @@ class FedProx(FedAvg):
                 if p.grad is not None:
                     p.grad += mu * (p.data - a)
 
-        stats = self.trainers[cid].train(
+        stats = self._client_trainer(round_idx, cid).train(
             self._scratch, self.cfg.local_epochs, round_idx, grad_hook=prox_hook
         )
         return ClientUpdate(

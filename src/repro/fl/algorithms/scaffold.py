@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
 from repro.nn.module import Module
-from repro.nn.serialization import average_states
 from repro.runtime.executors import ClientUpdate
 
 __all__ = ["Scaffold"]
@@ -104,11 +103,12 @@ class Scaffold(FLAlgorithm):
                 if p.grad is not None:
                     p.grad += correction[name]
 
-        stats = self.trainers[cid].train(
+        trainer = self._client_trainer(round_idx, cid)
+        stats = trainer.train(
             self._scratch, self.cfg.local_epochs, round_idx, grad_hook=control_hook
         )
         tau = max(stats.steps, 1)
-        eta = self.trainers[cid].lr
+        eta = trainer.lr
         y_state = self._scratch.state_dict()
 
         new_c = OrderedDict()
@@ -149,7 +149,8 @@ class Scaffold(FLAlgorithm):
         weights = [u.weight for u in updates]
 
         # Server model: x ← x + lr_g · weighted-mean(yᵢ − x); buffers averaged.
-        avg_y = average_states(uploaded_states, weights)
+        # Robustly fused when a defense is configured (anchored on x).
+        avg_y = self._combine_states(uploaded_states, weights, reference=global_state)
         new_state = OrderedDict()
         for k, v in avg_y.items():
             x_k = np.asarray(global_state[k], dtype=np.float64)
@@ -158,10 +159,19 @@ class Scaffold(FLAlgorithm):
             )
         self.global_model.load_state_dict(new_state)
 
-        # Server control: c ← c + (|S|/N) · mean(Δcᵢ)
+        # Server control: c ← c + (|S|/N) · mean(Δcᵢ). The control deltas
+        # are their own attack surface, so the defense fuses them too
+        # (unanchored — they live in delta space, not weight space).
+        robust_dc = (
+            self.defense.combine(delta_controls, None) if self.defense is not None else None
+        )
         frac = len(updates) / self.fed.num_clients
         for name in param_names:
-            mean_dc = np.mean([dc[name] for dc in delta_controls], axis=0)
+            mean_dc = (
+                np.asarray(robust_dc[name], dtype=np.float64)
+                if robust_dc is not None
+                else np.mean([dc[name] for dc in delta_controls], axis=0)
+            )
             self.server_control[name] += frac * mean_dc
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "load_history",
     "save_model",
     "load_model",
+    "CheckpointError",
     "RunCheckpoint",
     "RUN_CHECKPOINT_VERSION",
     "save_run_checkpoint",
@@ -48,6 +49,16 @@ __all__ = [
     "run_checkpoint_path",
     "CheckpointManager",
 ]
+
+
+class CheckpointError(ValueError):
+    """A run-checkpoint file is unreadable: wrong magic, unsupported
+    version, or truncated/corrupted content.
+
+    Subclasses :class:`ValueError` so pre-existing callers catching
+    ``ValueError`` keep working; new code should catch this to distinguish
+    "bad checkpoint file" from other value errors.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -191,18 +202,41 @@ def save_run_checkpoint(
 
 
 def load_run_checkpoint(path: "str | pathlib.Path") -> RunCheckpoint:
-    """Read a checkpoint written by :func:`save_run_checkpoint`."""
+    """Read a checkpoint written by :func:`save_run_checkpoint`.
+
+    Raises :class:`CheckpointError` on any unreadable file — wrong magic,
+    truncated or bit-flipped pickle payload, malformed field structure, or
+    an unsupported version — never a raw ``pickle``/``struct`` exception,
+    so a crash-loop resume (``resume_from=True``) can report the corrupt
+    file instead of dying on an opaque deserialization traceback.
+    """
     payload = pathlib.Path(path).read_bytes()
     if payload[: len(_RUN_CHECKPOINT_MAGIC)] != _RUN_CHECKPOINT_MAGIC:
-        raise ValueError(f"{path} is not a repro run checkpoint (bad magic)")
-    raw = pickle.loads(payload[len(_RUN_CHECKPOINT_MAGIC) :])
+        raise CheckpointError(f"{path} is not a repro run checkpoint (bad magic)")
+    try:
+        raw = pickle.loads(payload[len(_RUN_CHECKPOINT_MAGIC) :])
+    except Exception as exc:
+        raise CheckpointError(
+            f"{path} is truncated or corrupted "
+            f"(checkpoint payload failed to deserialize: {exc})"
+        ) from exc
+    if not isinstance(raw, dict):
+        raise CheckpointError(
+            f"{path} is corrupted (expected a checkpoint field mapping, "
+            f"got {type(raw).__name__})"
+        )
     version = raw.get("version")
     if version != RUN_CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported run-checkpoint version {version!r} "
             f"(this build reads v{RUN_CHECKPOINT_VERSION})"
         )
-    return RunCheckpoint(**raw)
+    try:
+        return RunCheckpoint(**raw)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"{path} is corrupted (unexpected checkpoint fields: {exc})"
+        ) from exc
 
 
 class CheckpointManager:

@@ -24,7 +24,8 @@ class RoundRecord:
     ``num_selected`` counts the clients whose updates were *aggregated*
     (participation); under the fault-injecting runtime that can be fewer
     than ``num_sampled``. ``failures`` maps client id → failure reason
-    (``dropout`` / ``uplink-lost`` / ``deadline`` / ``surplus`` /
+    (``dropout`` / ``uplink-lost`` / ``rejected-update`` (failed the
+    server-boundary validation gate) / ``deadline`` / ``surplus`` /
     ``stale-evicted``, plus ``worker-crash`` when a real executor worker
     died beyond recovery) and ``sim_time_s`` is the virtual-clock round
     time (0 when the runtime is not simulating time).

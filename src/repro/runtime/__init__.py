@@ -13,6 +13,13 @@ have no ``repro.fl`` dependency) so that ``repro.fl`` ↔ ``repro.runtime``
 cross-imports resolve under either entry point.
 """
 
+from repro.runtime.adversary import (
+    ATTACK_KINDS,
+    LABELFLIP,
+    AdversaryPlan,
+    AttackSpec,
+    poison_states,
+)
 from repro.runtime.faults import (
     NO_FAULTS,
     ClientFaults,
@@ -43,6 +50,7 @@ from repro.runtime.async_server import (
 from repro.runtime.clock import VirtualClock
 from repro.runtime.runtime import (
     FAILURE_REASONS,
+    REJECTED_UPDATE,
     STALE_EVICTED,
     FLRuntime,
     RoundOutcome,
@@ -50,6 +58,12 @@ from repro.runtime.runtime import (
 )
 
 __all__ = [
+    "ATTACK_KINDS",
+    "LABELFLIP",
+    "AdversaryPlan",
+    "AttackSpec",
+    "poison_states",
+    "REJECTED_UPDATE",
     "AGGREGATION_KINDS",
     "AggregationPolicy",
     "SyncAggregation",

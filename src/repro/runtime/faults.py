@@ -15,9 +15,11 @@ graph acyclic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.runtime.adversary import ATTACK_KINDS, AttackSpec
 
 __all__ = ["FaultSpec", "ClientFaults", "FaultPlan", "parse_fault_spec", "NO_FAULTS"]
 
@@ -51,6 +53,11 @@ class FaultSpec:
     backoff_s:
         Base virtual-clock backoff before the first retry; retry *i* waits
         ``backoff_s · 2^(i-1)``.
+    attacks:
+        Semantic (Byzantine) fault population — per-kind attacker fractions
+        parsed from the same spec grammar (``signflip=0.2,scale=10@0.1``).
+        Attacks poison *payloads*, not timing, so they do not count toward
+        :attr:`is_null` and never materialize the virtual clock.
     """
 
     dropout: float = 0.0
@@ -59,6 +66,7 @@ class FaultSpec:
     uplink_loss: float = 0.0
     max_retries: int = 2
     backoff_s: float = 0.5
+    attacks: AttackSpec = field(default_factory=AttackSpec)
 
     def __post_init__(self) -> None:
         for name in ("dropout", "straggler_rate", "uplink_loss"):
@@ -76,7 +84,9 @@ class FaultSpec:
 
     @property
     def is_null(self) -> bool:
-        """True when no fault can ever fire (the plan is a no-op)."""
+        """True when no *infrastructure* fault can ever fire (the timing
+        plan is a no-op). Attack roles live on :attr:`attacks` and are
+        checked separately — they poison payloads, not timing."""
         return self.dropout == 0.0 and self.straggler_rate == 0.0 and self.uplink_loss == 0.0
 
 
@@ -90,13 +100,44 @@ _SPEC_KEYS = {
     "backoff": "backoff_s",
 }
 
+# Attack keys share the grammar; these two carry an attack parameter in
+# front of the fraction (``scale=λ@p``, ``noise=σ@p``).
+_ATTACK_PARAMS = {"scale": "scale_lambda", "noise": "noise_std"}
+
+
+def _parse_attack_value(key: str, value: str) -> "dict[str, float]":
+    """``signflip=0.2`` → fraction only; ``scale=10@0.1`` → λ=10 plus the
+    0.1 attacker fraction (same for ``noise=σ@p``)."""
+    out: dict[str, float] = {}
+    if "@" in value:
+        if key not in _ATTACK_PARAMS:
+            raise ValueError(
+                f"fault key {key!r} takes a plain fraction, not "
+                f"{value!r} (the param@fraction form is for "
+                f"{sorted(_ATTACK_PARAMS)})"
+            )
+        param, _, frac = value.partition("@")
+        out[_ATTACK_PARAMS[key]] = float(param)
+        out[key] = float(frac)
+    else:
+        out[key] = float(value)
+    return out
+
 
 def parse_fault_spec(text: "str | FaultSpec | None") -> "FaultSpec | None":
     """Parse a CLI fault string like ``"dropout=0.3,loss=0.1,slowdown=4"``.
 
-    Keys: ``dropout``, ``straggler``, ``slowdown``, ``loss``, ``retries``,
-    ``backoff``. Returns ``None`` for ``None``/empty input; passes an
-    existing :class:`FaultSpec` through unchanged.
+    Infrastructure keys: ``dropout``, ``straggler``, ``slowdown``, ``loss``,
+    ``retries``, ``backoff``. Attack keys (Byzantine client fractions):
+    ``signflip``, ``scale`` (``scale=λ@p`` sets the amplification λ and the
+    fraction p), ``noise`` (``noise=σ@p``), ``labelflip``, ``freerider``,
+    ``logitcorrupt``. The two vocabularies mix freely in one spec, e.g.
+    ``"dropout=0.1,signflip=0.2,scale=10@0.1"``.
+
+    Unknown keys raise a :class:`ValueError` naming every valid key — a
+    typo must never silently weaken a fault model. Returns ``None`` for
+    ``None``/empty input; passes an existing :class:`FaultSpec` through
+    unchanged.
     """
     if text is None or isinstance(text, FaultSpec):
         return text
@@ -104,6 +145,7 @@ def parse_fault_spec(text: "str | FaultSpec | None") -> "FaultSpec | None":
     if not text:
         return None
     kwargs: dict[str, float | int] = {}
+    attack_kwargs: dict[str, float] = {}
     for item in text.split(","):
         item = item.strip()
         if not item:
@@ -112,12 +154,18 @@ def parse_fault_spec(text: "str | FaultSpec | None") -> "FaultSpec | None":
             raise ValueError(f"malformed fault entry {item!r}; expected key=value")
         key, _, value = item.partition("=")
         key = key.strip().lower()
-        if key not in _SPEC_KEYS:
+        if key in _SPEC_KEYS:
+            fname = _SPEC_KEYS[key]
+            kwargs[fname] = int(value) if fname == "max_retries" else float(value)
+        elif key in ATTACK_KINDS:
+            attack_kwargs.update(_parse_attack_value(key, value))
+        else:
             raise ValueError(
-                f"unknown fault key {key!r}; options: {sorted(_SPEC_KEYS)}"
+                f"unknown fault key {key!r}; valid infrastructure keys: "
+                f"{sorted(_SPEC_KEYS)}; valid attack keys: {sorted(ATTACK_KINDS)}"
             )
-        field = _SPEC_KEYS[key]
-        kwargs[field] = int(value) if field == "max_retries" else float(value)
+    if attack_kwargs:
+        kwargs["attacks"] = AttackSpec(**attack_kwargs)
     return FaultSpec(**kwargs)
 
 

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.runtime.adversary import AdversaryPlan
 from repro.runtime.async_server import (
     AggregationPolicy,
     SyncAggregation,
@@ -41,6 +42,7 @@ __all__ = [
     "RoundOutcome",
     "FAILURE_REASONS",
     "STALE_EVICTED",
+    "REJECTED_UPDATE",
     "ordered_failure_counts",
 ]
 
@@ -49,12 +51,19 @@ __all__ = [
 # *evicted* the update, not the round that dispatched it.
 STALE_EVICTED = "stale-evicted"
 
+# A payload that cleared the uplink but failed the server-boundary
+# validate_update gate (non-finite values, signature mismatch, norm above
+# the configured ceiling): rejected before aggregation instead of crashing
+# the server or silently poisoning the global model.
+REJECTED_UPDATE = "rejected-update"
+
 # The canonical failure taxonomy, in reporting order. failure_counts() and
 # summaries iterate this tuple so outputs are deterministic regardless of
 # the order failures were recorded in.
 FAILURE_REASONS = (
     "dropout",
     "uplink-lost",
+    REJECTED_UPDATE,
     "deadline",
     "surplus",
     STALE_EVICTED,
@@ -120,11 +129,24 @@ class FLRuntime:
     over_provision: bool = True
     clock: "VirtualClock | None" = None
     aggregation: AggregationPolicy = field(default_factory=SyncAggregation)
+    adversary: "AdversaryPlan | None" = None
 
     @property
     def faulty(self) -> bool:
         """Whether any fault axis can fire."""
         return self.plan is not None and not self.plan.spec.is_null
+
+    @property
+    def adversarial(self) -> bool:
+        """Whether any client can be assigned a Byzantine attack role."""
+        return self.adversary is not None
+
+    def attack_role(self, round_idx: int, client_id: int) -> "str | None":
+        """This client's attack role for one round (``None`` = honest);
+        pure in ``(seed, round, client)`` like every other fault stream."""
+        if self.adversary is None:
+            return None
+        return self.adversary.role(round_idx, client_id)
 
     @property
     def simulates_time(self) -> bool:
@@ -168,6 +190,11 @@ class FLRuntime:
         """
         spec = parse_fault_spec(getattr(cfg, "faults", None))
         plan = FaultPlan(spec, seed=cfg.seed) if spec is not None else None
+        adversary = (
+            AdversaryPlan(spec.attacks, seed=cfg.seed)
+            if spec is not None and not spec.attacks.is_null
+            else None
+        )
         deadline = getattr(cfg, "deadline", None)
         clock = None
         if (plan is not None and not spec.is_null) or deadline is not None:
@@ -192,4 +219,5 @@ class FLRuntime:
                 staleness_alpha=getattr(cfg, "staleness_alpha", 0.5),
                 max_staleness=getattr(cfg, "max_staleness", None),
             ),
+            adversary=adversary,
         )

@@ -51,11 +51,31 @@ class _Uninstantiable(FedAvg):
         raise TypeError("needs extra arguments")
 
 
+class _DefenseDroppingServerState(FedAvg):
+    """Forgets to ride the stateful defense in server_state(): a resumed
+    autoclip run would restart with a cold threshold and drift."""
+
+    def server_state(self):
+        state = super().server_state()
+        state.pop("_defense", None)
+        return state
+
+
+class _AmnesiacDefenseLoad(FedAvg):
+    """Writes the defense state but never restores it on load."""
+
+    def load_server_state(self, state):
+        state = dict(state)
+        state.pop("_defense", None)
+        super().load_server_state(state)
+
+
 BROKEN = {
     "RPL901": _UnpicklablePayload,
     "RPL902": _UnpicklableAlgorithm,
     "RPL903": _LossyServerState,
     "RPL904": _ExecutionTaintedFingerprint,
+    "RPL905": _DefenseDroppingServerState,
 }
 
 
@@ -75,6 +95,11 @@ def test_broken_algorithm_is_caught_by_its_contract(code):
     violations = run_contract_checks(entries=[("broken", cls)])
     codes = {v.code for v in violations}
     assert code in codes, f"{cls.__name__} should trip {code}; got {codes or 'nothing'}"
+
+
+def test_amnesiac_defense_load_is_caught_by_rpl905():
+    violations = run_contract_checks(entries=[("broken", _AmnesiacDefenseLoad)])
+    assert "RPL905" in {v.code for v in violations}
 
 
 def test_uninstantiable_algorithm_is_reported_not_raised():

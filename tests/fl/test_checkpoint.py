@@ -10,6 +10,7 @@ import pytest
 from repro.fl import checkpoint as ckpt_mod
 from repro.fl.checkpoint import (
     RUN_CHECKPOINT_VERSION,
+    CheckpointError,
     CheckpointManager,
     RunCheckpoint,
     load_history,
@@ -171,6 +172,10 @@ class TestRunCheckpointFormat:
             run_checkpoint_path(tmp_path, ".hidden")
         assert run_checkpoint_path(tmp_path, "ok").name == "ok.ckpt"
 
+    def test_checkpoint_error_is_a_value_error(self):
+        # back-compat: callers catching ValueError keep working
+        assert issubclass(CheckpointError, ValueError)
+
     def test_manager_tracks_checkpoints(self, tmp_path):
         mgr = CheckpointManager(tmp_path)
         ckpt = make_run_checkpoint(next_round=5)
@@ -179,6 +184,63 @@ class TestRunCheckpointFormat:
         assert back.next_round == 5
         with pytest.raises(KeyError):
             mgr.load_run_checkpoint("absent")
+
+
+class TestCorruptedCheckpoints:
+    """Fuzz: truncations and bit flips of a valid checkpoint file must
+    surface as :class:`CheckpointError` (or, for a lucky flip, still load a
+    valid :class:`RunCheckpoint`) — never a raw pickle/struct/EOF
+    traceback and never a non-RunCheckpoint object."""
+
+    def _valid_bytes(self, tmp_path):
+        path = save_run_checkpoint(make_run_checkpoint(), tmp_path / "good.ckpt")
+        return path.read_bytes()
+
+    def test_truncations_raise_checkpoint_error(self, tmp_path):
+        data = self._valid_bytes(tmp_path)
+        p = tmp_path / "trunc.ckpt"
+        # every prefix class: empty, partial magic, magic only, cut pickle
+        for cut in (0, 2, 4, 5, len(data) // 2, len(data) - 1):
+            p.write_bytes(data[:cut])
+            with pytest.raises(CheckpointError):
+                load_run_checkpoint(p)
+
+    def test_bit_flips_never_escape_the_error_type(self, tmp_path):
+        data = self._valid_bytes(tmp_path)
+        p = tmp_path / "flip.ckpt"
+        rng = np.random.default_rng(0)
+        for _ in range(64):
+            pos = int(rng.integers(len(data)))
+            bit = 1 << int(rng.integers(8))
+            corrupted = bytearray(data)
+            corrupted[pos] ^= bit
+            p.write_bytes(bytes(corrupted))
+            try:
+                back = load_run_checkpoint(p)
+            except CheckpointError:
+                continue  # the contract: a typed, catchable error
+            # a flip in don't-care bytes may still deserialize — but then
+            # it must be a real RunCheckpoint, not garbage
+            assert isinstance(back, RunCheckpoint)
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        import pickle
+
+        p = tmp_path / "list.ckpt"
+        p.write_bytes(b"RPCK" + pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="field mapping"):
+            load_run_checkpoint(p)
+
+    def test_unexpected_fields_rejected(self, tmp_path):
+        import dataclasses
+        import pickle
+
+        raw = dataclasses.asdict(make_run_checkpoint())
+        raw["bogus_field"] = 1
+        p = tmp_path / "fields.ckpt"
+        p.write_bytes(b"RPCK" + pickle.dumps(raw))
+        with pytest.raises(CheckpointError, match="unexpected checkpoint fields"):
+            load_run_checkpoint(p)
 
 
 class TestAtomicity:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fl.history import RoundRecord, RunHistory
+from repro.runtime.runtime import REJECTED_UPDATE, ordered_failure_counts
 
 
 def record(i, acc=0.5, bytes_=100):
@@ -64,6 +65,58 @@ class TestHistory:
         h.append(r2)
         locs = h.local_accuracies
         assert np.isnan(locs[0]) and locs[1] == 0.7
+
+    def test_failure_taxonomy_ordering(self):
+        """``rejected-update`` sits in the canonical taxonomy between
+        ``uplink-lost`` and ``deadline``; unknown reasons trail, sorted."""
+        counts = ordered_failure_counts(
+            ["deadline", REJECTED_UPDATE, "zz-custom", "dropout",
+             REJECTED_UPDATE, "uplink-lost", "aa-custom"]
+        )
+        assert list(counts) == [
+            "dropout", "uplink-lost", REJECTED_UPDATE, "deadline",
+            "aa-custom", "zz-custom",
+        ]
+        assert counts[REJECTED_UPDATE] == 2
+
+    def test_total_failures_counts_rejections(self):
+        h = RunHistory("FedAvg", "m", 4, 0.5)
+        r1 = record(1)
+        r1.failures = {0: REJECTED_UPDATE, 1: "dropout"}
+        r1.num_failed = 2
+        h.append(r1)
+        r2 = record(2)
+        r2.failures = {2: REJECTED_UPDATE}
+        r2.num_failed = 1
+        h.append(r2)
+        assert h.total_failures() == {"dropout": 1, REJECTED_UPDATE: 2}
+
+    def test_fingerprint_stable_with_rejections_mid_run(self):
+        """A mid-run rejection is a *measurement* — it must change the
+        fingerprint — and must survive the to_dict/from_dict round trip
+        (the resume path) without perturbing it."""
+
+        def build(with_rejection):
+            h = RunHistory("FedAvg", "m", 4, 0.5)
+            h.append(record(1))
+            r2 = record(2)
+            if with_rejection:
+                r2.failures = {3: REJECTED_UPDATE}
+                r2.num_failed = 1
+            h.append(r2)
+            h.append(record(3))
+            return h
+
+        clean = build(False)
+        rejected = build(True)
+        assert clean.fingerprint() != rejected.fingerprint()
+        # resume leg: serialize, deserialize, hash — bit-identical
+        revived = RunHistory.from_dict(rejected.to_dict())
+        assert revived.fingerprint() == rejected.fingerprint()
+        assert revived.records[1].failures == {3: REJECTED_UPDATE}
+        # and the round trip is idempotent (client ids stay ints)
+        again = RunHistory.from_dict(revived.to_dict())
+        assert again.fingerprint() == rejected.fingerprint()
 
     def test_to_dict_round_trip_fields(self):
         h = RunHistory("FedAvg", "m", 4, 0.5, meta={"scale": "smoke"})

@@ -52,6 +52,18 @@ class TestParse:
         with pytest.raises(ValueError):
             parse_fault_spec(bad)
 
+    def test_unknown_key_error_is_actionable(self):
+        """Regression: a typo must name every valid key from *both*
+        vocabularies, not just fail."""
+        with pytest.raises(ValueError) as err:
+            parse_fault_spec("dropuot=0.3")
+        msg = str(err.value)
+        assert "dropuot" in msg
+        for key in ("dropout", "straggler", "slowdown", "loss", "retries", "backoff"):
+            assert key in msg
+        for key in ("signflip", "scale", "noise", "labelflip", "freerider", "logitcorrupt"):
+            assert key in msg
+
 
 class TestFaultPlan:
     SPEC = FaultSpec(dropout=0.3, straggler_rate=0.5, uplink_loss=0.2)
