@@ -15,7 +15,7 @@ see DESIGN.md §"Static analysis" for the rule table and
 
 from repro.analysis.config import AnalysisConfig, PathScope
 from repro.analysis.engine import LintResult, lint_paths
-from repro.analysis.rules import ALL_RULES, AST_RULES, RULES_BY_CODE, Violation
+from repro.analysis.rules import ALL_RULES, AST_RULES, FLOW_RULES, RULES_BY_CODE, Violation
 
 __all__ = [
     "AnalysisConfig",
@@ -25,5 +25,6 @@ __all__ = [
     "Violation",
     "ALL_RULES",
     "AST_RULES",
+    "FLOW_RULES",
     "RULES_BY_CODE",
 ]

@@ -1,0 +1,75 @@
+"""Finding baselines: land a strict rule without blocking on old debt.
+
+A baseline is a JSON snapshot of the findings a tree currently has.
+``reprolint --baseline lint-baseline.json`` subtracts it from the current
+run and fails only on *new* findings; ``--write-baseline`` records the
+snapshot. Matching is a multiset over ``(path, code, message)`` — line
+numbers are deliberately excluded so unrelated edits above a baselined
+finding do not resurrect it, while a *second* occurrence of the same
+finding in the same file is still new.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.rules.base import Violation
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def _key(violation: Violation) -> BaselineKey:
+    return (violation.path, violation.code, violation.message)
+
+
+def load_baseline(path: "str | pathlib.Path") -> "Counter[BaselineKey]":
+    """Parse a baseline file into a multiset of finding keys."""
+    raw = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a reprolint baseline (version {_VERSION})")
+    counter: "Counter[BaselineKey]" = Counter()
+    for entry in raw.get("findings", []):
+        counter[(entry["path"], entry["code"], entry["message"])] += 1
+    return counter
+
+
+def write_baseline(path: "str | pathlib.Path", violations: Sequence[Violation]) -> None:
+    """Record the current findings as the new baseline."""
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"path": v.path, "code": v.code, "message": v.message}
+            for v in sorted(violations)
+        ],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: "Counter[BaselineKey]"
+) -> tuple[list[Violation], int]:
+    """Split findings into (new, number-baselined).
+
+    Consumes baseline entries multiset-style: each baselined occurrence
+    absorbs at most one current finding with the same key.
+    """
+    remaining = Counter(baseline)
+    new: list[Violation] = []
+    matched = 0
+    for violation in violations:
+        key = _key(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(violation)
+    return new, matched

@@ -7,6 +7,7 @@ the same convention the CI lint job keys off.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 
 from repro.analysis.config import AnalysisConfig
@@ -38,17 +39,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         choices=sorted(FORMATTERS),
         default="text",
-        help="output format (github emits ::error workflow annotations)",
+        help=(
+            "output format (github emits ::error workflow annotations, "
+            "sarif emits a code-scanning upload document)"
+        ),
     )
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run exclusively (e.g. RPL101,RPL102)",
+        help=(
+            "comma-separated rule codes to run exclusively; glob patterns "
+            "expand against the registered codes (e.g. RPL101,RPL7*)"
+        ),
     )
     parser.add_argument(
         "--ignore",
         metavar="CODES",
-        help="comma-separated rule codes to skip",
+        help="comma-separated rule codes to skip (glob patterns allowed)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of known findings: fail only on findings not "
+            "recorded there (see --write-baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-rule wall time after the report (CI budgets the total)",
     )
     parser.add_argument(
         "--no-contracts",
@@ -68,10 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_codes(raw: "str | None") -> "frozenset[str] | None":
+def _parse_codes(raw: "str | None", known: "set[str]") -> "frozenset[str] | None":
+    """Expand a comma list of codes/globs against the registered codes.
+
+    Returns ``None`` for "no selection". An unknown literal code or a
+    pattern matching nothing is reported as ``ValueError`` — a typo that
+    silently selected zero rules would green-light anything.
+    """
     if raw is None:
         return None
-    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+    out: set[str] = set()
+    for token in (t.strip().upper() for t in raw.split(",")):
+        if not token:
+            continue
+        if any(ch in token for ch in "*?["):
+            matched = set(fnmatch.filter(known, token))
+            if not matched:
+                raise ValueError(f"pattern {token!r} matches no registered rule")
+            out |= matched
+        elif token in known:
+            out.add(token)
+        else:
+            raise ValueError(f"unknown rule code {token!r}")
+    return frozenset(out)
+
+
+def _print_profile(timings: dict[str, float]) -> None:
+    total = sum(timings.values())
+    print("\nper-rule timing:", file=sys.stderr)
+    for code, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        print(f"  {code:<12} {seconds * 1000:9.1f} ms", file=sys.stderr)
+    print(f"  {'total':<12} {total * 1000:9.1f} ms", file=sys.stderr)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -84,14 +136,18 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"       {rule.invariant}")
         return 0
 
+    if args.write_baseline and not args.baseline:
+        print("reprolint: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
     config = AnalysisConfig.default()
-    select = _parse_codes(args.select)
-    ignore = _parse_codes(args.ignore) or frozenset()
     known = {rule.code for rule in ALL_RULES}
-    for code in (select or frozenset()) | ignore:
-        if code not in known:
-            print(f"reprolint: unknown rule code {code!r}", file=sys.stderr)
-            return 2
+    try:
+        select = _parse_codes(args.select, known)
+        ignore = _parse_codes(args.ignore, known) or frozenset()
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
     config = config.with_overrides(
         select=select,
         ignore=ignore,
@@ -110,7 +166,33 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
+    baselined = 0
+    if args.baseline:
+        from repro.analysis.baseline import (
+            apply_baseline,
+            load_baseline,
+            write_baseline,
+        )
+
+        if args.write_baseline:
+            write_baseline(args.baseline, result.violations)
+            print(
+                f"reprolint: wrote {len(result.violations)} finding(s) "
+                f"to {args.baseline}"
+            )
+            return 0
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"reprolint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        result.violations, baselined = apply_baseline(result.violations, baseline)
+
     print(FORMATTERS[args.format](result))
+    if baselined:
+        print(f"reprolint: {baselined} finding(s) matched the baseline", file=sys.stderr)
+    if args.profile:
+        _print_profile(result.timings)
     return 0 if result.ok else 1
 
 

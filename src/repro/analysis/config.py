@@ -12,6 +12,7 @@ test (``AnalysisConfig(scopes={})`` lints fixtures wherever they live).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 __all__ = ["PathScope", "AnalysisConfig", "DEFAULT_SCOPES"]
 
@@ -57,7 +58,7 @@ class AnalysisConfig:
     def default(cls) -> "AnalysisConfig":
         return cls(scopes=dict(DEFAULT_SCOPES))
 
-    def with_overrides(self, **kwargs) -> "AnalysisConfig":
+    def with_overrides(self, **kwargs: Any) -> "AnalysisConfig":
         return replace(self, **kwargs)
 
     def rule_enabled(self, code: str) -> bool:

@@ -31,11 +31,11 @@ import functools
 import inspect
 import pathlib
 import pickle
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
-from repro.analysis.rules.base import Rule, Violation
+from repro.analysis.rules.base import Rule, SourceModule, Violation
 
 __all__ = [
     "CONTRACT_RULES",
@@ -46,10 +46,11 @@ __all__ = [
     "RobustStateRoundTrip",
     "algorithm_entries",
     "run_contract_checks",
+    "disproven_by_live_round_trip",
 ]
 
 
-def _class_location(cls: type) -> tuple[str, int]:
+def _class_location(cls: "type[Any]") -> tuple[str, int]:
     """Best-effort (repo-relative path, line) of an algorithm class."""
     try:
         path = inspect.getsourcefile(cls) or "<unknown>"
@@ -63,7 +64,7 @@ def _class_location(cls: type) -> tuple[str, int]:
         return path, line
 
 
-def _deep_equal(a, b) -> bool:
+def _deep_equal(a: object, b: object) -> bool:
     """Structural equality that understands numpy arrays."""
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         return (
@@ -79,7 +80,7 @@ def _deep_equal(a, b) -> bool:
     return type(a) is type(b) and a == b
 
 
-def _tiny_harness():
+def _tiny_harness() -> "tuple[Any, Any, Any]":
     """A federation small enough that instantiating 10 algorithms is fast."""
     from repro.data.federated import build_federated_dataset
     from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
@@ -106,7 +107,7 @@ def _tiny_harness():
     return fed, model_fn, cfg
 
 
-def algorithm_entries(registry=None) -> list[tuple[str, type]]:
+def algorithm_entries(registry: Any = None) -> "list[tuple[str, type[Any]]]":
     """Registered (name, class) pairs, aliases deduplicated."""
     if registry is None:
         # Importing these modules populates the registry with the full set
@@ -117,7 +118,7 @@ def algorithm_entries(registry=None) -> list[tuple[str, type]]:
         from repro.fl.algorithms.base import ALGORITHM_REGISTRY
 
         registry = ALGORITHM_REGISTRY
-    entries: list[tuple[str, type]] = []
+    entries: "list[tuple[str, type[Any]]]" = []
     seen: set[int] = set()
     for name in registry:
         cls = registry.get(name)
@@ -131,13 +132,13 @@ def algorithm_entries(registry=None) -> list[tuple[str, type]]:
 class ContractRule(Rule):
     kind = "contract"
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         raise NotImplementedError
 
-    def check(self, module) -> Iterable[Violation]:  # pragma: no cover - contract rules
+    def check(self, module: SourceModule) -> Iterable[Violation]:  # pragma: no cover - contract rules
         return ()
 
-    def fail(self, cls: type, message: str) -> Violation:
+    def fail(self, cls: "type[Any]", message: str) -> Violation:
         path, line = _class_location(cls)
         return Violation(path=path, line=line, col=0, code=self.code, message=message)
 
@@ -150,7 +151,7 @@ class PayloadPicklable(ContractRule):
         "across a process boundary"
     )
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         try:
             pickle.dumps(algo.client_payload(0, 0), protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the lint
@@ -167,7 +168,7 @@ class AlgorithmPicklable(ContractRule):
         "pickled round-start snapshot of the whole algorithm each round"
     )
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         try:
             pickle.dumps(algo, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:  # noqa: BLE001
@@ -187,7 +188,7 @@ class ServerStateRoundTrip(ContractRule):
         "buffer — the checkpoint/resume identity"
     )
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         try:
             state = algo.server_state()
             restored = pickle.loads(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
@@ -207,7 +208,7 @@ class ServerStateRoundTrip(ContractRule):
             return
         yield from self._buffered_roundtrip(name, cls, algo)
 
-    def _buffered_roundtrip(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def _buffered_roundtrip(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         """Re-run the round trip with an armed update buffer.
 
         Every algorithm can run under the buffered server regime, so its
@@ -274,7 +275,7 @@ class FingerprintExecutionFree(ContractRule):
         "executor) so a checkpoint resumes under any backend"
     )
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         original_cfg = algo.cfg
         try:
             baseline = algo.config_fingerprint()
@@ -303,7 +304,7 @@ class RobustStateRoundTrip(ContractRule):
         "— defended runs must resume bit-identically"
     )
 
-    def run(self, name: str, cls: type, algo) -> Iterator[Violation]:
+    def run(self, name: str, cls: "type[Any]", algo: Any) -> Iterator[Violation]:
         from repro.fl.robust import default_defenses
 
         original = algo.defense
@@ -364,8 +365,23 @@ CONTRACT_RULES: tuple[ContractRule, ...] = (
 )
 
 
+def _dedupe_key(name: str, cls: "type[Any]", violation: Violation) -> tuple[str, int, str]:
+    """Identity of a contract finding, independent of the registry name.
+
+    A class registered under two names (alias registration) trips the same
+    contract twice; the only difference between the findings is the
+    ``"{name}: "`` message prefix. Stripping it makes the duplicates
+    collapse onto ``(code, class, complaint)``.
+    """
+    message = violation.message
+    prefix = f"{name}: "
+    if message.startswith(prefix):
+        message = message[len(prefix) :]
+    return (violation.code, id(cls), message)
+
+
 def run_contract_checks(
-    entries: "list[tuple[str, type]] | None" = None,
+    entries: "list[tuple[str, type[Any]]] | None" = None,
     rules: "tuple[ContractRule, ...]" = CONTRACT_RULES,
 ) -> list[Violation]:
     """Instantiate every registered algorithm once and run all contracts."""
@@ -373,25 +389,110 @@ def run_contract_checks(
         entries = algorithm_entries()
     fed, model_fn, cfg = _tiny_harness()
     violations: list[Violation] = []
+    seen: set[tuple[str, int, str]] = set()
+
+    def _add(name: str, cls: "type[Any]", found: Iterable[Violation]) -> None:
+        for violation in found:
+            key = _dedupe_key(name, cls, violation)
+            if key not in seen:
+                seen.add(key)
+                violations.append(violation)
+
     for name, cls in entries:
         try:
             algo = cls(model_fn, fed, cfg)
         except Exception as exc:  # noqa: BLE001
             path, line = _class_location(cls)
-            violations.append(
-                Violation(
-                    path=path,
-                    line=line,
-                    col=0,
-                    code="RPL901",
-                    message=(
-                        f"{name}: could not instantiate with the standard "
-                        f"(model_fn, fed, config) signature ({exc!r}); the "
-                        "experiment runner and executors rely on it"
-                    ),
-                )
+            _add(
+                name,
+                cls,
+                [
+                    Violation(
+                        path=path,
+                        line=line,
+                        col=0,
+                        code="RPL901",
+                        message=(
+                            f"{name}: could not instantiate with the standard "
+                            f"(model_fn, fed, config) signature ({exc!r}); the "
+                            "experiment runner and executors rely on it"
+                        ),
+                    )
+                ],
             )
             continue
         for rule in rules:
-            violations.extend(rule.run(name, cls, algo))
+            _add(name, cls, rule.run(name, cls, algo))
     return violations
+
+
+class _Probe:
+    """Sentinel planted on an attr to see whether server_state() reads it.
+
+    Deliberately inert: any method call or protocol use inside
+    ``server_state`` raises, which is itself proof the attr is captured.
+    """
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - identity only
+        return self is other
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+
+def disproven_by_live_round_trip(violations: "list[Violation]") -> set[Violation]:
+    """RPL704 findings the *live* server_state round trip contradicts.
+
+    The static pass reports attrs written on aggregate paths that it
+    cannot see in ``server_state()``/``load_server_state()`` — but capture
+    can be dynamic (a loop over ``vars(self)``, a helper the call graph
+    lost). For findings naming a registered algorithm class, plant a
+    sentinel on the attr and re-call ``server_state()``: if the output
+    changes (or reading the sentinel raises), the attr demonstrably rides
+    the round trip and the finding is dropped.
+    """
+    out: set[Violation] = set()
+    if not violations:
+        return out
+    try:
+        by_name = {cls.__name__: cls for _, cls in algorithm_entries()}
+        harness = _tiny_harness()
+    except Exception:  # registry not importable: keep the static findings
+        return out
+    fed, model_fn, cfg = harness
+    instances: "dict[str, Any]" = {}
+    for violation in violations:
+        if len(violation.data) != 2:
+            continue
+        cls_name, attr = violation.data
+        cls = by_name.get(cls_name)
+        if cls is None:
+            continue
+        algo = instances.get(cls_name)
+        if algo is None:
+            try:
+                algo = cls(model_fn, fed, cfg)
+            except Exception:  # noqa: BLE001 - RPL901 reports this elsewhere
+                continue
+            instances[cls_name] = algo
+        try:
+            before = algo.server_state()
+        except Exception:  # noqa: BLE001
+            continue
+        had_attr = hasattr(algo, attr)
+        original = getattr(algo, attr, None)
+        try:
+            setattr(algo, attr, _Probe())
+            try:
+                after = algo.server_state()
+            except Exception:  # noqa: BLE001 - server_state read the probe
+                out.add(violation)
+                continue
+            if not _deep_equal(before, after):
+                out.add(violation)
+        finally:
+            if had_attr:
+                setattr(algo, attr, original)
+            elif hasattr(algo, attr):
+                delattr(algo, attr)
+    return out

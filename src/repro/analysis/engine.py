@@ -1,30 +1,49 @@
 """The lint engine: discover files, parse once, run every applicable rule.
 
 Each file is parsed a single time into a :class:`SourceModule`; all AST
-rules share that tree. Pragmas suppress per line, path scopes gate per
-rule, and the optional contract pass (reflection over the algorithm
-registry) appends its findings at the end. A file that does not parse is
-itself a finding (``RPL001``) rather than a crash — the linter runs in CI
-over trees it did not write.
+rules share that tree. After the per-file pass, the **flow pass** builds
+one :class:`~repro.analysis.callgraph.ProjectIndex` over every parsed
+module and runs the RPL7xx dataflow rules against it — cross-file
+reachability needs the whole project at once. Pragmas suppress per line
+(including any line of a multi-line expression span and a flow finding's
+enclosing ``def``), path scopes gate per rule, and the optional contract
+pass (reflection over the algorithm registry) appends its findings at the
+end; when it runs, RPL704 findings that the *live* server_state round
+trip disproves are dropped (static approximation, dynamic arbiter). A
+file that does not parse is itself a finding (``RPL001``) rather than a
+crash — the linter runs in CI over trees it did not write.
+
+Per-rule wall time is accumulated in :attr:`LintResult.timings` (shown by
+``reprolint --profile``; the CI lint job budgets the total).
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.pragmas import parse_pragmas
-from repro.analysis.rules import AST_RULES, SourceModule, Violation
+from repro.analysis.pragmas import FilePragmas, parse_pragmas
+from repro.analysis.rules import AST_RULES, FLOW_RULES, SourceModule, Violation
 from repro.analysis.rules.base import collect_aliases
 
 __all__ = ["LintResult", "iter_python_files", "lint_paths"]
 
 PARSE_ERROR_CODE = "RPL001"
 
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results"}
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    "results",
+    "build",
+    "dist",
+    ".ruff_cache",
+}
+_SKIP_DIR_SUFFIXES = (".egg-info",)
 
 
 @dataclass
@@ -34,10 +53,15 @@ class LintResult:
     violations: list[Violation] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    timings: dict[str, float] = field(default_factory=dict)  # rule code -> seconds
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def _skip_dir(part: str) -> bool:
+    return part in _SKIP_DIRS or part.endswith(_SKIP_DIR_SUFFIXES)
 
 
 def iter_python_files(paths: Sequence["str | pathlib.Path"]) -> Iterator[pathlib.Path]:
@@ -49,9 +73,7 @@ def iter_python_files(paths: Sequence["str | pathlib.Path"]) -> Iterator[pathlib
             candidates: Iterable[pathlib.Path] = [path]
         elif path.is_dir():
             candidates = sorted(
-                p
-                for p in path.rglob("*.py")
-                if not any(part in _SKIP_DIRS for part in p.parts)
+                p for p in path.rglob("*.py") if not any(_skip_dir(part) for part in p.parts)
             )
         else:
             raise FileNotFoundError(f"no such file or directory: {path}")
@@ -91,6 +113,12 @@ def _load(path: pathlib.Path, display: str) -> "SourceModule | Violation":
     )
 
 
+def _suppressed(pragmas: "FilePragmas | None", violation: Violation) -> bool:
+    if pragmas is None:
+        return False
+    return pragmas.suppresses_any(violation.pragma_lines(), violation.code)
+
+
 def lint_paths(
     paths: Sequence["str | pathlib.Path"],
     config: "AnalysisConfig | None" = None,
@@ -99,6 +127,8 @@ def lint_paths(
     """Lint ``paths`` (files or directories) under ``config``."""
     config = config if config is not None else AnalysisConfig.default()
     result = LintResult()
+    modules: list[SourceModule] = []
+    pragmas_by_display: dict[str, FilePragmas] = {}
     for path in iter_python_files(paths):
         display = _display_path(path, root)
         loaded = _load(path, display)
@@ -110,21 +140,71 @@ def lint_paths(
         if pragmas.skip_file:
             continue
         result.files_checked += 1
+        modules.append(loaded)
+        pragmas_by_display[display] = pragmas
         for rule in AST_RULES:
             if not config.rule_enabled(rule.code):
                 continue
             if not config.rule_applies(rule.code, display):
                 continue
-            for violation in rule.check(loaded):
-                if pragmas.suppresses(violation.line, violation.code):
+            started = time.perf_counter()
+            found = list(rule.check(loaded))
+            result.timings[rule.code] = result.timings.get(rule.code, 0.0) + (
+                time.perf_counter() - started
+            )
+            for violation in found:
+                if _suppressed(pragmas, violation):
                     result.suppressed += 1
                 else:
                     result.violations.append(violation)
+    _run_flow_pass(result, modules, pragmas_by_display, config)
     if config.run_contracts:
         from repro.analysis.contracts import CONTRACT_RULES, run_contract_checks
 
         enabled = tuple(r for r in CONTRACT_RULES if config.rule_enabled(r.code))
         if enabled:
+            started = time.perf_counter()
             result.violations.extend(run_contract_checks(rules=enabled))
+            result.timings["contracts"] = time.perf_counter() - started
     result.violations.sort()
     return result
+
+
+def _run_flow_pass(
+    result: LintResult,
+    modules: list[SourceModule],
+    pragmas_by_display: dict[str, FilePragmas],
+    config: AnalysisConfig,
+) -> None:
+    enabled = [r for r in FLOW_RULES if config.rule_enabled(r.code)]
+    if not enabled or not modules:
+        return
+    from repro.analysis import dataflow
+    from repro.analysis.callgraph import ProjectIndex
+
+    dataflow.reset_caches()  # summaries are keyed per project, not global
+    started = time.perf_counter()
+    index = ProjectIndex(modules)
+    result.timings["flow:index"] = time.perf_counter() - started
+    flow_violations: list[Violation] = []
+    for rule in enabled:
+        started = time.perf_counter()
+        found = list(rule.check_project(index))
+        result.timings[rule.code] = result.timings.get(rule.code, 0.0) + (
+            time.perf_counter() - started
+        )
+        for violation in found:
+            if not config.rule_applies(rule.code, violation.path):
+                continue
+            if _suppressed(pragmas_by_display.get(violation.path), violation):
+                result.suppressed += 1
+            else:
+                flow_violations.append(violation)
+    if config.run_contracts and any(v.code == "RPL704" for v in flow_violations):
+        from repro.analysis.contracts import disproven_by_live_round_trip
+
+        dropped = disproven_by_live_round_trip(
+            [v for v in flow_violations if v.code == "RPL704"]
+        )
+        flow_violations = [v for v in flow_violations if v not in dropped]
+    result.violations.extend(flow_violations)

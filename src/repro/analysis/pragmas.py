@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["FilePragmas", "parse_pragmas"]
 
@@ -33,6 +34,11 @@ class FilePragmas:
     def suppresses(self, line: int, code: str) -> bool:
         codes = self.allows.get(line)
         return codes is not None and (code in codes or "*" in codes)
+
+    def suppresses_any(self, lines: Iterable[int], code: str) -> bool:
+        """Pragma on *any* of ``lines`` (a multi-line expression span, or a
+        flow finding's enclosing ``def`` anchor) suppresses the finding."""
+        return any(self.suppresses(line, code) for line in lines)
 
 
 def parse_pragmas(source: str) -> FilePragmas:

@@ -13,15 +13,18 @@ from repro.analysis.rules.autograd_ops import ForwardWithoutBackward, MissingSup
 from repro.analysis.rules.base import AstRule, Rule, SourceModule, Violation
 from repro.analysis.rules.batched import PerClientLoop
 from repro.analysis.rules.checkpoint import MissingServerState
+from repro.analysis.rules.flow_rules import FLOW_RULES, FlowRule
 from repro.analysis.rules.rng import GlobalNumpyRng, StdlibRandom, UnseededDefaultRng
 from repro.analysis.rules.wallclock import WallClockCall
 
 __all__ = [
     "Rule",
     "AstRule",
+    "FlowRule",
     "SourceModule",
     "Violation",
     "AST_RULES",
+    "FLOW_RULES",
     "ALL_RULES",
     "RULES_BY_CODE",
 ]
@@ -39,7 +42,7 @@ AST_RULES: tuple[AstRule, ...] = (
     PerClientLoop(),
 )
 
-ALL_RULES: tuple[Rule, ...] = AST_RULES + CONTRACT_RULES
+ALL_RULES: tuple[Rule, ...] = AST_RULES + FLOW_RULES + CONTRACT_RULES
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
 if len(RULES_BY_CODE) != len(ALL_RULES):  # pragma: no cover - registration bug

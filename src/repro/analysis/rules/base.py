@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import ast
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 __all__ = [
@@ -34,9 +34,23 @@ class Violation:
     col: int  # 0-based, as in the ast module
     code: str
     message: str
+    # Suppression metadata (not part of the finding's identity): the last
+    # line of the offending expression, so a pragma anywhere on a
+    # multi-line call suppresses, plus extra anchor lines (flow rules
+    # record the enclosing ``def`` line). ``data`` carries rule-specific
+    # facts for downstream passes (RPL704 stores (class, attr) so the
+    # contract pass can cross-check against the live round trip).
+    end_line: int = field(default=0, compare=False)
+    anchors: tuple[int, ...] = field(default=(), compare=False)
+    data: tuple[str, ...] = field(default=(), compare=False)
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def pragma_lines(self) -> tuple[int, ...]:
+        """Every line on which an ``allow`` pragma suppresses this finding."""
+        span = range(self.line, max(self.line, self.end_line) + 1)
+        return tuple(span) + tuple(a for a in self.anchors if a not in span)
 
 
 @dataclass
@@ -111,6 +125,10 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+            # Expression spans only: a finding anchored at a class or
+            # function *statement* must not let a pragma deep in the body
+            # suppress it.
+            end_line=(getattr(node, "end_lineno", 0) or 0) if isinstance(node, ast.expr) else 0,
         )
 
 

@@ -1,0 +1,322 @@
+"""RPL7xx: interprocedural dataflow rules over the project call graph.
+
+Where RPL1xx-6xx prove properties of a single statement, these rules
+prove properties of *paths*: an ambient RNG constructed inside a helper
+two calls below ``client_work`` breaks executor parity exactly as hard as
+one constructed inline, and only a call-graph traversal can see it. Each
+rule anchors its finding at the offending statement and records the
+enclosing ``def`` line as a pragma anchor, so either line can carry an
+``allow[...]`` pragma.
+
+The rules only analyse *algorithm classes* — classes that (transitively)
+derive from ``FLAlgorithm`` or one of the registered algorithm bases.
+Base-name matching is deliberately permissive: a fixture subclassing a
+bare ``FLAlgorithm`` name without a resolvable import still counts, and
+when the live registry is importable its class names extend the set.
+
+| code   | path property proved                                          |
+| ------ | ------------------------------------------------------------- |
+| RPL701 | no ambient RNG reachable from ``client_work``/``_batched``    |
+| RPL702 | nothing reachable from client work mutates ``self`` state     |
+| RPL703 | ``client_payload``/``server_state`` return copies, not aliases|
+| RPL704 | attrs written on aggregate paths ride ``server_state()``      |
+| RPL705 | no wall-clock/entropy reachable from ``round()``              |
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.callgraph import ClassInfo, FunctionInfo, ProjectIndex
+from repro.analysis.dataflow import effects_for, escape_summary
+from repro.analysis.rules.base import Rule, SourceModule, Violation
+
+__all__ = [
+    "FlowRule",
+    "RngFlowsIntoClientWork",
+    "WorkerSideSelfMutation",
+    "AliasedHookReturn",
+    "UncapturedAggregateWrite",
+    "WallClockReachableFromRound",
+    "FLOW_RULES",
+    "algorithm_classes",
+]
+
+# Known algorithm base-class names: the FLAlgorithm root plus every class
+# the registry binds (kept in sync with rules/checkpoint.py). Lint-time
+# fallback for when `repro.fl.algorithms` is not importable (pure fixture
+# trees); the live registry extends this set when it is.
+_ALGO_BASE_NAMES = frozenset(
+    {
+        "FLAlgorithm",
+        "FedAvg",
+        "FedProx",
+        "FedNova",
+        "FedDF",
+        "_FedOptBase",
+        "FedAvgM",
+        "FedAdam",
+        "Scaffold",
+        "FedMD",
+        "FedKEMF",
+        "FedKD",
+    }
+)
+
+_CLIENT_WORK_HOOKS = ("client_work", "client_work_batched")
+_RETURNING_HOOKS = ("client_payload", "server_state")
+_AGGREGATE_HOOKS = ("aggregate", "aggregate_buffered", "apply_client_update")
+_STATE_HOOKS = ("server_state", "load_server_state")
+
+# Attrs checkpointed through a dedicated channel rather than the
+# server_state() dict: the global model itself is serialized as the
+# checkpoint's model payload, and the scratch module is rebuilt on load.
+_CHECKPOINTED_ELSEWHERE = frozenset({"global_model", "_scratch"})
+
+_registry_names_cache: "frozenset[str] | None" = None
+
+
+def _registry_class_names() -> frozenset[str]:
+    """Class names bound in the live algorithm registry, when importable."""
+    global _registry_names_cache
+    if _registry_names_cache is not None:
+        return _registry_names_cache
+    names: set[str] = set()
+    try:
+        from repro.analysis.contracts import algorithm_entries
+
+        names = {cls.__name__ for _, cls in algorithm_entries()}
+    except Exception:  # registry not importable: fixture-only lint
+        names = set()
+    _registry_names_cache = frozenset(names)
+    return _registry_names_cache
+
+
+def algorithm_classes(index: ProjectIndex) -> list[ClassInfo]:
+    """Classes in the project that are (or derive from) an FL algorithm."""
+    bases = _ALGO_BASE_NAMES | _registry_class_names()
+    out = []
+    for cls in index.classes.values():
+        if cls.name in bases or index.derives_from(cls, bases):
+            out.append(cls)
+    return sorted(out, key=lambda c: c.qualname)
+
+
+class FlowRule(Rule):
+    """Base for project-wide dataflow rules."""
+
+    kind = "flow"
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:  # pragma: no cover
+        raise TypeError(f"{self.code} is a flow rule; use check_project()")
+
+    def flow_violation(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        message: str,
+        *,
+        data: tuple[str, ...] = (),
+    ) -> Violation:
+        return Violation(
+            path=fn.display,
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+            anchors=(fn.node.lineno,),
+            data=data,
+        )
+
+
+def _entries(
+    index: ProjectIndex, classes: Sequence[ClassInfo], hooks: Sequence[str]
+) -> "list[tuple[FunctionInfo, ClassInfo]]":
+    out = []
+    for cls in classes:
+        for hook in hooks:
+            fn = index.resolve_method(cls, hook)
+            if fn is not None:
+                out.append((fn, cls))
+    return out
+
+
+class RngFlowsIntoClientWork(FlowRule):
+    code = "RPL701"
+    name = "ambient-rng-reaches-client-work"
+    invariant = (
+        "Every RNG used on a client_work path is a (seed, round, client)-keyed "
+        "new_rng lane; ambient generators diverge across executors."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        classes = algorithm_classes(index)
+        seen: set[tuple[str, int, int]] = set()
+        for reached in index.reachable(_entries(index, classes, _CLIENT_WORK_HOOKS)):
+            for node, desc in effects_for(reached.fn, index).ambient_rng:
+                key = (reached.fn.display, node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.flow_violation(
+                    reached.fn,
+                    node,
+                    f"ambient RNG ({desc}) flows into per-client work via "
+                    f"{reached.via()}; derive it from new_rng(seed, stream, "
+                    f"index) keyed by (seed, round, client) instead",
+                )
+
+
+class WorkerSideSelfMutation(FlowRule):
+    code = "RPL702"
+    name = "worker-side-self-mutation"
+    invariant = (
+        "No function reachable from client_work/client_work_batched writes "
+        "algorithm self state; worker-side writes are silently lost under "
+        "fork executors and diverge from the serial path."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        classes = algorithm_classes(index)
+        seen: set[tuple[str, int, str]] = set()
+        for reached in index.reachable(
+            _entries(index, classes, _CLIENT_WORK_HOOKS), self_only=True
+        ):
+            for attr, node in effects_for(reached.fn, index).self_writes.items():
+                key = (reached.fn.display, node.lineno, attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.flow_violation(
+                    reached.fn,
+                    node,
+                    f"self.{attr} is mutated on the {reached.via()} path; "
+                    f"worker-side writes are lost under fork executors — "
+                    f"move the write parent-side (round()/apply_client_update)",
+                )
+
+
+class AliasedHookReturn(FlowRule):
+    code = "RPL703"
+    name = "hook-returns-live-state-alias"
+    invariant = (
+        "client_payload/server_state hand out copies; returning a live "
+        "reference lets the receiver (or a later server step) mutate "
+        "algorithm state behind the replay's back."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        seen: set[tuple[str, int, str]] = set()
+        for cls in algorithm_classes(index):
+            for hook in _RETURNING_HOOKS:
+                fn = index.resolve_method(cls, hook)
+                if fn is None:
+                    continue
+                for esc in escape_summary(fn, index, cls):
+                    key = (fn.display, esc.node.lineno, esc.attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.flow_violation(
+                        fn,
+                        esc.node,
+                        f"{fn.short()} {esc.reason}; return a copy — "
+                        f"self.{esc.attr} is live mutable server state",
+                    )
+
+
+class UncapturedAggregateWrite(FlowRule):
+    code = "RPL704"
+    name = "aggregate-write-not-in-server-state"
+    invariant = (
+        "Every attr written on an aggregate/apply_client_update path is "
+        "captured by the server_state()/load_server_state round trip; "
+        "anything else silently resets on resume (dataflow upgrade of RPL401)."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        seen: set[tuple[str, int, str]] = set()
+        for cls in algorithm_classes(index):
+            if cls.name == "FLAlgorithm":
+                # The root class's own writes are judged per concrete
+                # subclass (capture sets differ down the hierarchy).
+                continue
+            captured = _captured_attrs(index, cls) | _CHECKPOINTED_ELSEWHERE
+            for reached in index.reachable(
+                _entries(index, [cls], _AGGREGATE_HOOKS), self_only=True
+            ):
+                for attr, node in effects_for(reached.fn, index).self_writes.items():
+                    if attr in captured:
+                        continue
+                    key = (reached.fn.display, node.lineno, attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.flow_violation(
+                        reached.fn,
+                        node,
+                        f"self.{attr} is written on the {reached.via()} path "
+                        f"but never rides the server_state()/load_server_state "
+                        f"round trip of {cls.name}; a resumed run would "
+                        f"silently reset it",
+                        data=(cls.name, attr),
+                    )
+
+
+def _captured_attrs(index: ProjectIndex, cls: ClassInfo) -> set[str]:
+    """Attrs mentioned anywhere in the class's state round-trip methods."""
+    out: set[str] = set()
+    for anc in index.mro(cls):
+        for hook in _STATE_HOOKS:
+            method = anc.methods.get(hook)
+            if method is None:
+                continue
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    out.add(node.attr)
+    return out
+
+
+class WallClockReachableFromRound(FlowRule):
+    code = "RPL705"
+    name = "wall-clock-reachable-from-round"
+    invariant = (
+        "No wall-clock or OS-entropy call is reachable from FLAlgorithm."
+        "round(); simulated time comes from the clock model, measurement "
+        "uses the sanctioned perf_counter lanes."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        classes = algorithm_classes(index)
+        seen: set[tuple[str, int, int]] = set()
+        for reached in index.reachable(_entries(index, classes, ("round",))):
+            for node, desc in effects_for(reached.fn, index).wall_entropy:
+                key = (reached.fn.display, node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.flow_violation(
+                    reached.fn,
+                    node,
+                    f"wall-clock/entropy call {desc} is reachable from "
+                    f"round() via {reached.via()}; rounds must replay "
+                    f"bit-identically from (seed, round, client)",
+                )
+
+
+FLOW_RULES: tuple[FlowRule, ...] = (
+    RngFlowsIntoClientWork(),
+    WorkerSideSelfMutation(),
+    AliasedHookReturn(),
+    UncapturedAggregateWrite(),
+    WallClockReachableFromRound(),
+)

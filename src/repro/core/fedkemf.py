@@ -111,27 +111,47 @@ class FedKEMF(FLAlgorithm):
         # class's _labelflip_trainers for the mutual-learning local pass.
         self._labelflip_mutual_trainers: "dict[int, DeepMutualTrainer]" = {}
 
+    def _make_labelflip_mutual_trainer(self, cid: int) -> DeepMutualTrainer:
+        """Build a flipped-label clone of client ``cid``'s mutual trainer
+        (same hyperparameters and seed → identical batch schedule). Pure
+        construction: no algorithm state is touched."""
+        base = self.mutual_trainers[cid]
+        x, y = base.dataset.arrays()
+        return DeepMutualTrainer(
+            ArrayDataset(x, (self.fed.num_classes - 1) - y),
+            batch_size=base.batch_size,
+            lr=base.lr,
+            momentum=base.momentum,
+            weight_decay=base.weight_decay,
+            kl_weight=base.kl_weight,
+            seed=base.seed,
+        )
+
+    def _prepare_attack_state(self, round_idx: int, active: "list[int]") -> None:
+        # The mutual-learning local pass uses DeepMutualTrainer clones,
+        # not the base class's LocalTrainer clones: prebuild exactly those
+        # parent-side so client_work stays a pure read in forked workers.
+        for cid in active:
+            if (
+                self.runtime.attack_role(round_idx, cid) == LABELFLIP
+                and cid not in self._labelflip_mutual_trainers
+            ):
+                self._labelflip_mutual_trainers[cid] = (
+                    self._make_labelflip_mutual_trainer(cid)
+                )
+
     def _mutual_trainer(self, round_idx: int, cid: int) -> DeepMutualTrainer:
         """The mutual trainer for this (round, client) pair: the honest
         one, or a flipped-label clone under the adversary's ``labelflip``
-        role (same hyperparameters and seed → identical batch schedule)."""
+        role. Pure read of the prepared cache; on a miss (direct call
+        outside the round pipeline) the clone is rebuilt without caching —
+        this may run in a forked worker where ``self`` writes are lost."""
         if self.runtime.attack_role(round_idx, cid) != LABELFLIP:
             return self.mutual_trainers[cid]
         trainer = self._labelflip_mutual_trainers.get(cid)
-        if trainer is None:
-            base = self.mutual_trainers[cid]
-            x, y = base.dataset.arrays()
-            trainer = DeepMutualTrainer(
-                ArrayDataset(x, (self.fed.num_classes - 1) - y),
-                batch_size=base.batch_size,
-                lr=base.lr,
-                momentum=base.momentum,
-                weight_decay=base.weight_decay,
-                kl_weight=base.kl_weight,
-                seed=base.seed,
-            )
-            self._labelflip_mutual_trainers[cid] = trainer
-        return trainer
+        if trainer is not None:
+            return trainer
+        return self._make_labelflip_mutual_trainer(cid)
 
     def server_state(self) -> dict:
         # The heterogeneous local models are the on-device deployment

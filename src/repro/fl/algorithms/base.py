@@ -248,26 +248,53 @@ class FLAlgorithm:
 
     # adversary / defense ------------------------------------------------ #
 
+    def _make_labelflip_trainer(self, cid: int) -> LocalTrainer:
+        """Build a clone of client ``cid``'s trainer over a flipped-label
+        view (``y → C−1−y``). Same hyperparameters and the *same seed*, so
+        the shuffle schedule — hence the batch order — is identical to the
+        honest trainer's; only the labels differ. Pure construction: no
+        algorithm state is touched."""
+        base = self.trainers[cid]
+        x, y = base.dataset.arrays()
+        flipped = ArrayDataset(x, (self.fed.num_classes - 1) - y)
+        return LocalTrainer(
+            flipped,
+            batch_size=base.batch_size,
+            lr=base.lr,
+            momentum=base.momentum,
+            weight_decay=base.weight_decay,
+            seed=base.seed,
+        )
+
     def _labelflip_trainer(self, cid: int) -> LocalTrainer:
-        """A clone of client ``cid``'s trainer over a flipped-label view
-        (``y → C−1−y``). Same hyperparameters and the *same seed*, so the
-        shuffle schedule — hence the batch order — is identical to the
-        honest trainer's; only the labels differ."""
+        """Client ``cid``'s flipped-label trainer clone.
+
+        Normally a pure cache read: :meth:`_prepare_attack_state` prebuilds
+        the clone parent-side before the executor snapshots the algorithm.
+        On a miss (a direct call outside the round pipeline) a fresh clone
+        is built *without* caching — this may run in a forked worker, where
+        a ``self`` write would be silently lost (reprolint RPL702), and
+        construction is deterministic so the uncached clone is identical.
+        """
         trainer = self._labelflip_trainers.get(cid)
-        if trainer is None:
-            base = self.trainers[cid]
-            x, y = base.dataset.arrays()
-            flipped = ArrayDataset(x, (self.fed.num_classes - 1) - y)
-            trainer = LocalTrainer(
-                flipped,
-                batch_size=base.batch_size,
-                lr=base.lr,
-                momentum=base.momentum,
-                weight_decay=base.weight_decay,
-                seed=base.seed,
-            )
-            self._labelflip_trainers[cid] = trainer
-        return trainer
+        if trainer is not None:
+            return trainer
+        return self._make_labelflip_trainer(cid)
+
+    def _prepare_attack_state(self, round_idx: int, active: "list[int]") -> None:
+        """Parent-side prebuild of per-client adversarial state.
+
+        Anything :meth:`client_work` would lazily cache on ``self`` (the
+        flipped-label trainer clones) is built here instead, before the
+        executor fan-out, so the worker-side path is a pure read and every
+        executor backend sees the same snapshot.
+        """
+        for cid in active:
+            if (
+                self.runtime.attack_role(round_idx, cid) == LABELFLIP
+                and cid not in self._labelflip_trainers
+            ):
+                self._labelflip_trainers[cid] = self._make_labelflip_trainer(cid)
 
     def _client_trainer(self, round_idx: int, cid: int) -> LocalTrainer:
         """The trainer a client-work hook must use for this (round, client)
@@ -422,7 +449,10 @@ class FLAlgorithm:
         if all(m.discount == 1.0 for m in merges):
             self.aggregate(round_idx, [m.update for m in merges])
             return
-        self._staleness_discounts = [m.discount for m in merges]
+        # Ephemeral by construction — published for the duration of the
+        # delegated aggregate() call and reset in the finally below, so it
+        # never crosses a round boundary and has nothing to checkpoint.
+        self._staleness_discounts = [m.discount for m in merges]  # reprolint: allow[RPL704]
         try:
             self.aggregate(round_idx, [m.discounted() for m in merges])
         finally:
@@ -501,6 +531,7 @@ class FLAlgorithm:
             cid: "dropout" for cid in selected if decisions[cid].dropped
         }
         active = [cid for cid in selected if cid not in failures]
+        self._prepare_attack_state(round_idx, active)
         tasks = [(cid, self.client_payload(round_idx, cid)) for cid in active]
         work = functools.partial(self.client_work, round_idx)
         updates = rt.executor.run_round(work, tasks)

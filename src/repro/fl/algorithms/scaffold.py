@@ -86,7 +86,15 @@ class Scaffold(FLAlgorithm):
             cid,
             OrderedDict((k, v.astype(np.float32)) for k, v in self.server_control.items()),
         )
-        return {"state": state, "control": c_server, "client_control": self._control_for(cid)}
+        # The client control is handed out by value: the payload crosses an
+        # executor boundary, and under the serial executor a live reference
+        # would let worker-side arithmetic alias the server's copy of cᵢ
+        # (reprolint RPL703). Values are copied bit-exactly, so the control
+        # maths downstream is unchanged.
+        client_control = OrderedDict(
+            (k, v.copy()) for k, v in self._control_for(cid).items()
+        )
+        return {"state": state, "control": c_server, "client_control": client_control}
 
     def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
         global_state = self.global_model.state_dict(copy=False)  # round-start anchor x

@@ -1,0 +1,13 @@
+"""Flow findings carry the enclosing ``def`` line as a pragma anchor: an
+allow pragma on the def suppresses findings anywhere in the body."""
+
+import numpy as np
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class Pragmatic(FLAlgorithm):
+    name = "Pragmatic"
+
+    def client_work(self, round_idx, cid, payload, rng):  # reprolint: allow[RPL701]
+        return np.random.default_rng()

@@ -1,0 +1,16 @@
+"""Flow findings span the whole offending call: a pragma on the closing
+line of a multi-line call suppresses the finding anchored at its start."""
+
+import numpy as np
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class Spanning(FLAlgorithm):
+    name = "Spanning"
+
+    def client_work(self, round_idx, cid, payload, rng):
+        gen = np.random.default_rng(
+            # deliberately split across lines
+        )  # reprolint: allow[RPL701]
+        return gen

@@ -1,0 +1,8 @@
+"""A pragma on any line of a multi-line offending expression suppresses
+the finding anchored at the expression's first line."""
+
+from numpy.random import default_rng
+
+gen = default_rng(
+    # argument list deliberately split across lines
+)  # reprolint: allow[RPL102]

@@ -1,0 +1,29 @@
+"""Must-flag: ambient RNG reaching per-client work only *transitively* —
+none of these sites is inside client_work itself, which is exactly the
+blind spot of the per-statement RPL101-103 rules."""
+
+import numpy as np
+import random
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+def shuffle_indices(n):
+    order = np.arange(n)
+    np.random.shuffle(order)  # global-state numpy RNG, two calls deep
+    return order
+
+
+class AmbientRngAlgorithm(FLAlgorithm):
+    name = "AmbientRng"
+
+    def _noise_scale(self):
+        return random.random()  # stdlib random, one call deep
+
+    def _local_pass(self, cid):
+        rng = np.random.default_rng()  # unseeded generator in a helper
+        idx = shuffle_indices(8)
+        return rng.normal(size=8)[idx] * self._noise_scale()
+
+    def client_work(self, round_idx, cid, payload):
+        return self._local_pass(cid)

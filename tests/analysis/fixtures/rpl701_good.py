@@ -1,0 +1,33 @@
+"""Clean twin of rpl701_bad: every generator on the client-work path is a
+(seed, round, client)-keyed new_rng lane; the sanctioned unseeded fallback
+exists but only on a server-side path the client never reaches."""
+
+import numpy as np
+
+from repro.fl.algorithms.base import FLAlgorithm
+from repro.utils.rng import derive_seed, new_rng
+
+
+def shuffle_indices(n, rng):
+    order = np.arange(n)
+    rng.shuffle(order)  # caller-provided keyed generator
+    return order
+
+
+class KeyedRngAlgorithm(FLAlgorithm):
+    name = "KeyedRng"
+
+    def _local_pass(self, round_idx, cid):
+        rng = new_rng(
+            derive_seed(self.cfg.seed, round_idx, cid), "local", cid
+        )
+        idx = shuffle_indices(8, rng)
+        return rng.normal(size=8)[idx]
+
+    def client_work(self, round_idx, cid, payload):
+        return self._local_pass(round_idx, cid)
+
+    def _interactive_probe(self):
+        # Server-side debugging helper, never called from client work:
+        # the interactive fallback lane is fine here.
+        return new_rng(None, "probe", 0)

@@ -1,0 +1,27 @@
+"""Must-flag: algorithm state mutated inside helpers reachable from
+client_work — the writes happen in a forked worker's copy of the
+algorithm and silently vanish, so serial and parallel executors diverge."""
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class WorkerMutatingAlgorithm(FLAlgorithm):
+    name = "WorkerMutating"
+
+    def setup(self):
+        self.trainer_cache = {}
+        self.seen_clients = []
+
+    def _cached_trainer(self, cid):
+        trainer = self.trainer_cache.get(cid)
+        if trainer is None:
+            trainer = object()
+            self.trainer_cache[cid] = trainer  # lost under fork executors
+        return trainer
+
+    def _record(self, cid):
+        self.seen_clients.append(cid)  # container mutator, one call deep
+
+    def client_work(self, round_idx, cid, payload):
+        self._record(cid)
+        return self._cached_trainer(cid)

@@ -1,0 +1,42 @@
+"""Clean twin of rpl702_bad: the *same* mutation moved into the
+parent-side aggregate path, where writes are serial-only and survive.
+client_work reads the prepared cache but never writes it."""
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class ParentMutatingAlgorithm(FLAlgorithm):
+    name = "ParentMutating"
+
+    def setup(self):
+        self.trainer_cache = {}
+        self.seen_clients = []
+
+    def _prepare_trainer(self, cid):
+        # Parent-side prebuild (called from aggregate below): the
+        # equivalent of rpl702_bad's worker-side cache fill.
+        if cid not in self.trainer_cache:
+            self.trainer_cache[cid] = object()
+
+    def _record(self, cid):
+        self.seen_clients.append(cid)
+
+    def client_work(self, round_idx, cid, payload):
+        return self.trainer_cache.get(cid)  # pure read worker-side
+
+    def aggregate(self, round_idx, updates):
+        for update in updates:
+            self._prepare_trainer(update.client_id)
+            self._record(update.client_id)
+
+    def server_state(self):
+        state = super().server_state()
+        state["seen_clients"] = list(self.seen_clients)
+        # Cache values are derived; the key set is enough to rebuild.
+        state["trainer_cache_keys"] = sorted(self.trainer_cache)
+        return state
+
+    def load_server_state(self, state):
+        super().load_server_state(state)
+        self.seen_clients = list(state["seen_clients"])
+        self.trainer_cache = {cid: object() for cid in state["trainer_cache_keys"]}

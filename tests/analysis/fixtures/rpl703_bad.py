@@ -1,0 +1,38 @@
+"""Must-flag: hooks handing out live references to mutable server state —
+directly, through a helper (interprocedural), via a shallow copy whose
+elements still alias, and via state_dict(copy=False)."""
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class AliasingAlgorithm(FLAlgorithm):
+    name = "Aliasing"
+
+    def setup(self):
+        self.controls = {}
+        self.momenta = OrderedDict()
+
+    def _control_for(self, cid):
+        if cid not in self.controls:
+            self.controls[cid] = np.zeros(4)
+        return self.controls[cid]
+
+    def client_payload(self, round_idx, cid):
+        return {
+            # live reference returned by a helper, one call deep
+            "control": self._control_for(cid),
+            # live arrays straight out of the module
+            "state": self.global_model.state_dict(copy=False),
+        }
+
+    def server_state(self):
+        return {
+            # fresh dict, but the values still alias the live arrays
+            "momenta": OrderedDict(self.momenta),
+            # direct alias of the whole mapping
+            "controls": self.controls,
+        }

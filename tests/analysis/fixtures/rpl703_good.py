@@ -1,0 +1,38 @@
+"""Clean twin of rpl703_bad: every hook ships copies — per-value copies
+for array mappings, a copying state_dict() for the model."""
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class CopyingAlgorithm(FLAlgorithm):
+    name = "Copying"
+
+    def setup(self):
+        self.controls = {}
+        self.momenta = OrderedDict()
+
+    def _control_copy(self, cid):
+        if cid not in self.controls:
+            self.controls[cid] = np.zeros(4)
+        return self.controls[cid].copy()
+
+    def client_payload(self, round_idx, cid):
+        return {
+            "control": self._control_copy(cid),
+            "state": self.global_model.state_dict(),  # copies by default
+        }
+
+    def server_state(self):
+        state = super().server_state()
+        state["momenta"] = OrderedDict((k, v.copy()) for k, v in self.momenta.items())
+        state["controls"] = {cid: c.copy() for cid, c in self.controls.items()}
+        return state
+
+    def load_server_state(self, state):
+        super().load_server_state(state)
+        self.momenta = OrderedDict((k, v.copy()) for k, v in state["momenta"].items())
+        self.controls = {int(c): v.copy() for c, v in state["controls"].items()}

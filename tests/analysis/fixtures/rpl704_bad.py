@@ -1,0 +1,34 @@
+"""Must-flag: attrs written on aggregate/apply_client_update paths that
+never ride the server_state() round trip — a resumed run silently resets
+them. The writes hide one call deep; the per-class RPL401 heuristic
+cannot see them."""
+
+from repro.fl.algorithms.base import FLAlgorithm
+
+
+class ForgetfulAlgorithm(FLAlgorithm):
+    name = "Forgetful"
+
+    def setup(self):
+        self.velocity = {}
+        self.audit_log = []
+        self.round_count = 0
+
+    def _server_step(self, updates):
+        for update in updates:
+            self.velocity[update.client_id] = update.weight  # not captured
+
+    def aggregate(self, round_idx, updates):
+        self._server_step(updates)
+
+    def apply_client_update(self, update):
+        self.audit_log.append(update.client_id)  # not captured either
+
+    def server_state(self):
+        state = super().server_state()
+        state["round_count"] = self.round_count  # the only attr captured
+        return state
+
+    def load_server_state(self, state):
+        super().load_server_state(state)
+        self.round_count = state["round_count"]

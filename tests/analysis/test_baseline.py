@@ -1,0 +1,116 @@
+"""Baseline semantics: multiset matching over (path, code, message), line
+insensitivity, and the write→filter CLI loop that lets a strict new rule
+land without blocking on recorded debt."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.rules.base import Violation
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _v(path="pkg/a.py", line=10, code="RPL101", message="bad call") -> Violation:
+    return Violation(path=path, line=line, col=0, code=code, message=message)
+
+
+def test_round_trip_filters_recorded_findings(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    recorded = [_v(line=10), _v(path="pkg/b.py", code="RPL102", message="other")]
+    write_baseline(baseline_file, recorded)
+    baseline = load_baseline(baseline_file)
+
+    # same findings on different lines still match (edits above a
+    # baselined finding must not resurrect it)
+    current = [_v(line=99), _v(path="pkg/b.py", line=1, code="RPL102", message="other")]
+    new, matched = apply_baseline(current, baseline)
+    assert new == [] and matched == 2
+
+
+def test_second_occurrence_of_same_key_is_new(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, [_v(line=10)])
+    baseline = load_baseline(baseline_file)
+
+    current = [_v(line=10), _v(line=50)]  # identical key, twice
+    new, matched = apply_baseline(current, baseline)
+    assert matched == 1
+    assert len(new) == 1  # the extra occurrence is a genuinely new finding
+
+
+def test_unrecorded_finding_is_new(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, [_v()])
+    baseline = load_baseline(baseline_file)
+    new, matched = apply_baseline([_v(code="RPL201", message="clocky")], baseline)
+    assert matched == 0 and len(new) == 1
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 999, "findings": []}))
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+# --------------------------------------------------------------------- #
+# CLI loop
+# --------------------------------------------------------------------- #
+
+
+def test_cli_write_then_filter_loop(tmp_path, capsys):
+    baseline_file = tmp_path / "lint-baseline.json"
+    bad = str(FIXTURES / "rpl102_bad.py")
+    args = [bad, "--no-contracts", "--select", "RPL102", "--baseline", str(baseline_file)]
+
+    # 1. recording the debt exits 0 and writes the file
+    assert main(args + ["--write-baseline"]) == 0
+    assert baseline_file.exists()
+    capsys.readouterr()
+
+    # 2. relinting against the baseline: everything matches, clean exit
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "matched the baseline" in err
+
+    # 3. a rule the baseline never saw still fails the run
+    assert (
+        main(
+            [
+                bad,
+                str(FIXTURES / "rpl103_bad.py"),
+                "--no-contracts",
+                "--select",
+                "RPL102,RPL103",
+                "--baseline",
+                str(baseline_file),
+            ]
+        )
+        == 1
+    )
+
+
+def test_cli_write_baseline_requires_baseline_path():
+    assert main(["--write-baseline"]) == 2
+
+
+def test_cli_unreadable_baseline_is_usage_error(tmp_path):
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("[1, 2, 3]")
+    assert (
+        main(
+            [
+                str(FIXTURES / "rpl501_good.py"),
+                "--no-contracts",
+                "--baseline",
+                str(garbled),
+            ]
+        )
+        == 2
+    )

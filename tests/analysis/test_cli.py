@@ -85,3 +85,60 @@ def test_list_rules_covers_every_registered_rule(capsys):
 def test_contracts_only_runs_registry_pass(capsys):
     code, out = run_cli(capsys, "--contracts-only")
     assert code == 0, out
+
+
+def test_sarif_format_is_valid_code_scanning_payload(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys,
+        str(FIXTURES / "rpl102_bad.py"),
+        "--no-contracts",
+        "--select",
+        "RPL102",
+        "--format",
+        "sarif",
+    )
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    assert [r["id"] for r in driver["rules"]] == ["RPL102"]
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        assert result["ruleId"] == "RPL102"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_select_glob_expands_to_rule_family(capsys):
+    code, out = run_cli(
+        capsys,
+        str(FIXTURES / "rpl705_bad.py"),
+        "--no-contracts",
+        "--select",
+        "RPL7*",
+    )
+    assert code == 1
+    assert "RPL705" in out
+
+
+def test_select_glob_matching_nothing_is_usage_error(capsys):
+    assert main([str(FIXTURES), "--select", "RPLX*"]) == 2
+
+
+def test_profile_prints_per_rule_timings(capsys):
+    code = main(
+        [
+            str(FIXTURES / "rpl501_good.py"),
+            "--no-contracts",
+            "--profile",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "per-rule timing" in captured.err
+    assert "total" in captured.err

@@ -102,6 +102,17 @@ def test_amnesiac_defense_load_is_caught_by_rpl905():
     assert "RPL905" in {v.code for v in violations}
 
 
+def test_duplicate_registry_entries_yield_one_finding_each():
+    """The same class registered under two names (aliases are a real
+    registry pattern) must not double-report its contract findings."""
+    cls = BROKEN["RPL903"]
+    single = run_contract_checks(entries=[("broken", cls)])
+    double = run_contract_checks(entries=[("broken", cls), ("alias", cls)])
+    assert len(single) >= 1
+    assert len(double) == len(single)
+    assert {v.code for v in double} == {v.code for v in single}
+
+
 def test_uninstantiable_algorithm_is_reported_not_raised():
     violations = run_contract_checks(entries=[("broken", _Uninstantiable)])
     assert len(violations) == 1

@@ -23,3 +23,8 @@ def test_repo_is_lint_clean():
     assert result.ok, "reprolint violations:\n" + "\n".join(
         str(v) for v in result.violations
     )
+    # Per-rule timings back the CI budget (<60s for the whole lint job):
+    # the full repo pass — AST rules, call-graph build, flow rules and the
+    # live contract pass — must stay an order of magnitude under it.
+    assert {"flow:index", "contracts"} <= set(result.timings)
+    assert sum(result.timings.values()) < 60.0

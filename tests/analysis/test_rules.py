@@ -1,11 +1,12 @@
-"""Per-rule fixture coverage: every AST rule has a known-bad file that must
-flag and a known-good sibling that must stay silent for that code."""
+"""Per-rule fixture coverage: every AST and flow rule has a known-bad file
+that must flag and a known-good sibling that must stay silent for that
+code."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import AST_RULES
+from repro.analysis import AST_RULES, FLOW_RULES
 
 CASES = {
     "RPL101": ("rpl101_bad.py", "rpl101_good.py", 5),
@@ -18,11 +19,17 @@ CASES = {
     "RPL501": ("rpl501_bad.py", "rpl501_good.py", 2),
     "RPL502": ("rpl502_bad.py", "rpl502_good.py", 2),
     "RPL601": ("rpl601_bad.py", "rpl601_good.py", 3),
+    "RPL701": ("rpl701_bad.py", "rpl701_good.py", 3),
+    "RPL702": ("rpl702_bad.py", "rpl702_good.py", 2),
+    "RPL703": ("rpl703_bad.py", "rpl703_good.py", 4),
+    "RPL704": ("rpl704_bad.py", "rpl704_good.py", 2),
+    "RPL705": ("rpl705_bad.py", "rpl705_good.py", 3),
 }
 
 
-def test_every_ast_rule_has_fixture_coverage():
-    assert {r.code for r in AST_RULES} == set(CASES)
+def test_every_checkable_rule_has_fixture_coverage():
+    codes = {r.code for r in AST_RULES} | {r.code for r in FLOW_RULES}
+    assert codes == set(CASES)
 
 
 @pytest.mark.parametrize("code", sorted(CASES))

@@ -1,0 +1,29 @@
+"""The analysis package is a typed island: ``mypy --strict`` over
+``src/repro/analysis`` only (the rest of the tree is exempt — see
+``[tool.mypy]`` in pyproject.toml). CI installs mypy for its lint job;
+locally the test skips when mypy is absent rather than failing."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+def test_analysis_package_passes_mypy_strict():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro/analysis"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
