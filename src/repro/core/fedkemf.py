@@ -28,6 +28,7 @@ from repro.core.mutual import DeepMutualTrainer, train_stacked_mutual
 from repro.data.dataset import ArrayDataset
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
+from repro.fl.state_store import ClientModelBank, LazyFactoryBank
 from repro.nn.batched import build_stacked
 from repro.nn.module import Module
 from repro.nn.serialization import state_dict_signature
@@ -86,19 +87,18 @@ class FedKEMF(FLAlgorithm):
         if self.cfg.fusion not in ("ensemble-distill", "weight-average"):
             raise ValueError(f"unknown fusion mode {self.cfg.fusion!r}")
         # Persistent local models — deployed on device, never communicated.
-        self.local_models: list[Module] = [fn() for fn in self._local_model_fns]
-        self.mutual_trainers = [
-            DeepMutualTrainer(
-                ds,
-                batch_size=self.cfg.batch_size,
-                lr=self.cfg.lr,
-                momentum=self.cfg.momentum,
-                weight_decay=self.cfg.weight_decay,
-                kl_weight=self.cfg.kl_weight,
-                seed=self.cfg.seed * 7919 + i,
-            )
-            for i, ds in enumerate(self.fed.client_train)
-        ]
+        # Behind a bank they are constructed on first touch (fresh init is
+        # deterministic, so untouched clients carry no state at all) and,
+        # with cfg.state_residency set, only that many stay live in RAM;
+        # evicted models' weights park in a spill-capable state store.
+        self.local_models = ClientModelBank(
+            self._local_model_fns, resident_limit=self.cfg.state_residency
+        )
+        # Mutual trainers mirror the base class's lazy trainer bank: pure
+        # in the client id, built on demand, droppable between rounds.
+        self.mutual_trainers = LazyFactoryBank(
+            self.make_mutual_trainer, self.fed.num_clients
+        )
         self._distill_config = DistillConfig(
             epochs=self.cfg.distill_epochs,
             lr=self.cfg.distill_lr,
@@ -110,6 +110,31 @@ class FedKEMF(FLAlgorithm):
         # Flipped-label DeepMutualTrainer clones, mirroring the base
         # class's _labelflip_trainers for the mutual-learning local pass.
         self._labelflip_mutual_trainers: "dict[int, DeepMutualTrainer]" = {}
+
+    def make_mutual_trainer(self, cid: int) -> DeepMutualTrainer:
+        """Construct client ``cid``'s deep-mutual trainer. Pure in ``cid``
+        (fixed config/seed), so dropped entries rebuild bit-identically."""
+        return DeepMutualTrainer(
+            self.fed.client_train[cid],
+            batch_size=self.cfg.batch_size,
+            lr=self.cfg.lr,
+            momentum=self.cfg.momentum,
+            weight_decay=self.cfg.weight_decay,
+            kl_weight=self.cfg.kl_weight,
+            seed=self.cfg.seed * 7919 + cid,
+        )
+
+    def _prefetch_clients(self, round_idx: int, active: "list[int]") -> None:
+        # On top of the base hook (cohort shards + LocalTrainer cache),
+        # drop cached mutual trainers and flipped-label mutual clones for
+        # clients outside the cohort — they pin evicted shards otherwise.
+        super()._prefetch_clients(round_idx, active)
+        if getattr(self.fed, "prefetch", None) is None:
+            return
+        keep = set(active)
+        self.mutual_trainers.retain(keep)
+        for cid in [c for c in self._labelflip_mutual_trainers if c not in keep]:
+            del self._labelflip_mutual_trainers[cid]
 
     def _make_labelflip_mutual_trainer(self, cid: int) -> DeepMutualTrainer:
         """Build a flipped-label clone of client ``cid``'s mutual trainer
@@ -160,15 +185,19 @@ class FedKEMF(FLAlgorithm):
         # dict additionally carries the buffered-regime update buffer.
         state = super().server_state()
         state.update(
-            local_models=[m.state_dict() for m in self.local_models],
+            # Touched clients only ({cid: state_dict}): untouched models
+            # are their deterministic fresh init, so a million-client
+            # checkpoint stays O(touched).
+            local_models=self.local_models.export_states(),
             last_distill_loss=self.last_distill_loss,
         )
         return state
 
     def load_server_state(self, state: dict) -> None:
         super().load_server_state(state)
-        for model, weights in zip(self.local_models, state["local_models"]):
-            model.load_state_dict(weights)
+        # Accepts the dict-of-touched format and the legacy all-clients
+        # list from older checkpoints.
+        self.local_models.load_states(state["local_models"])
         self.last_distill_loss = state["last_distill_loss"]
 
     def client_work(self, round_idx: int, cid: int, payload: dict) -> ClientUpdate:
@@ -186,7 +215,7 @@ class FedKEMF(FLAlgorithm):
         return ClientUpdate(
             client_id=cid,
             states={"state": self._scratch.state_dict()},
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
             local_state=self.local_models[cid].state_dict(),
@@ -215,7 +244,7 @@ class FedKEMF(FLAlgorithm):
             key = (
                 type(local),
                 state_dict_signature(local.state_dict(copy=False)),
-                len(self.fed.client_train[cid]),
+                self.fed.client_size(cid),
             )
             groups.setdefault(key, []).append((cid, payload))
         results: "dict[int, ClientUpdate]" = {}
@@ -251,7 +280,9 @@ class FedKEMF(FLAlgorithm):
 
     def apply_client_update(self, update: ClientUpdate) -> None:
         # The device keeps its trained θ even if the server never sees θ_g^k.
-        self.local_models[update.client_id].load_state_dict(update.local_state)
+        # Routed through the bank so a non-live client's weights park in
+        # the state store instead of forcing a module construction.
+        self.local_models.load_state(update.client_id, update.local_state)
 
     def aggregate(self, round_idx: int, updates: "list[ClientUpdate]") -> None:
         client_states = [u.received["state"] for u in updates]
@@ -288,7 +319,9 @@ class FedKEMF(FLAlgorithm):
         # dominates the client's FLOPs and drives the virtual clock.
         return self.local_models[cid]
 
-    def local_models_for_eval(self) -> "list[Module]":
+    def local_models_for_eval(self) -> "ClientModelBank":
+        # The bank duck-types list[Module] (len / index / iterate), so the
+        # Table 3 evaluation path is unchanged.
         return self.local_models
 
 

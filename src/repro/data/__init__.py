@@ -26,6 +26,7 @@ from repro.data.partition import (
     partition_report,
 )
 from repro.data.federated import FederatedDataset, build_federated_dataset
+from repro.data.lazy import LazyFederatedDataset
 from repro.data.files import (
     load_cifar10_dir,
     load_mnist_dir,
@@ -55,6 +56,7 @@ __all__ = [
     "partition_report",
     "FederatedDataset",
     "build_federated_dataset",
+    "LazyFederatedDataset",
     "load_cifar10_dir",
     "load_mnist_dir",
     "read_idx",

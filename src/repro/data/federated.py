@@ -50,6 +50,21 @@ class FederatedDataset:
     def num_clients(self) -> int:
         return len(self.client_train)
 
+    @property
+    def sample_shape(self) -> tuple[int, ...]:
+        """Per-sample feature shape (probed by the runtime's virtual clock;
+        the lazy federation exposes the same property without touching a
+        shard)."""
+        sample, _label = self.client_train[0][0]
+        return tuple(np.asarray(sample).shape)
+
+    def client_size(self, cid: int) -> int:
+        """``len(client_train[cid])`` — the aggregation weight. Mirrored by
+        :class:`repro.data.lazy.LazyFederatedDataset` in O(1) without
+        materializing the shard, so algorithm code should prefer this over
+        ``len(fed.client_train[cid])``."""
+        return len(self.client_train[cid])
+
     def client_sizes(self) -> np.ndarray:
         return np.array([len(d) for d in self.client_train])
 

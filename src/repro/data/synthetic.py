@@ -115,6 +115,107 @@ class SyntheticImageDataset:
         out[..., :, :-1] += tmp[..., :, 1:]
         return out / 9.0
 
+    @property
+    def sample_shape(self) -> tuple[int, int, int]:
+        """Per-sample tensor shape ``(C, H, W)`` without drawing anything."""
+        s = self.spec
+        return (s.channels, s.image_size, s.image_size)
+
+    def _draw_labels(self, rng: np.random.Generator, n: int, class_probs) -> np.ndarray:
+        """The label draw of :meth:`sample` — the *first* consumption of the
+        draw stream, shared verbatim by every sampling entry point."""
+        s = self.spec
+        if class_probs is None:
+            return rng.integers(0, s.num_classes, size=n)
+        p = np.asarray(class_probs, dtype=np.float64)
+        p = p / p.sum()
+        return rng.choice(s.num_classes, size=n, p=p)
+
+    def sample_labels(
+        self, n: int, seed: int = 0, class_probs: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The label vector of ``sample(n, seed)`` without the images.
+
+        Labels are the first draw from the per-``seed`` stream, so they can
+        be replayed alone in O(n) ints — this is what lets a lazy federation
+        compute its partition assignment without ever materializing the
+        O(n·C·H·W) sample tensor.
+        """
+        rng = new_rng(self.seed, "data", seed + 1)
+        return self._draw_labels(rng, n, class_probs)
+
+    def sample_rows(
+        self,
+        n: int,
+        rows: np.ndarray,
+        seed: int = 0,
+        labels: np.ndarray | None = None,
+        class_probs: np.ndarray | None = None,
+        chunk_elems: int = 4_194_304,
+    ) -> ArrayDataset:
+        """Materialize only ``rows`` of the notional ``sample(n, seed)`` draw.
+
+        Bitwise identical to ``sample(n, seed, ...)`` restricted to ``rows``
+        (in the given row order): the cheap full-corpus draws (labels,
+        prototype choice, shifts, contrast) are replayed verbatim at size
+        ``n``, and the one memory-dominant draw — the Gaussian pixel noise —
+        is streamed in chunks. NumPy ``Generator`` array fills are sequential
+        draws, so chunked fills concatenate to the single-fill stream bit for
+        bit; every arithmetic op is elementwise, so restricting rows commutes
+        with it. Peak memory is O(len(rows)·C·H·W + chunk), never O(n·C·H·W).
+        """
+        s = self.spec
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= n):
+            raise IndexError("rows out of range of the notional corpus")
+        rng = new_rng(self.seed, "data", seed + 1)
+        if labels is None:
+            y = self._draw_labels(rng, n, class_probs)
+        else:
+            y = np.asarray(labels, dtype=np.int64)
+            if len(y) != n:
+                raise ValueError("labels length must equal n")
+            if len(y) and (y.min() < 0 or y.max() >= s.num_classes):
+                raise ValueError("labels out of class range")
+        proto_idx = rng.integers(0, s.prototypes_per_class, size=n)
+        k = len(rows)
+        x = self.prototypes[y[rows], proto_idx[rows]].copy()  # (k, C, H, W)
+
+        if s.shift_max > 0:
+            dh = rng.integers(-s.shift_max, s.shift_max + 1, size=n)
+            dw = rng.integers(-s.shift_max, s.shift_max + 1, size=n)
+            h_idx = (np.arange(s.image_size)[None, :] - dh[rows, None]) % s.image_size
+            w_idx = (np.arange(s.image_size)[None, :] - dw[rows, None]) % s.image_size
+            ki = np.arange(k)[:, None, None, None]
+            ci = np.arange(s.channels)[None, :, None, None]
+            x = x[ki, ci, h_idx[:, None, :, None], w_idx[:, None, None, :]]
+
+        if s.contrast_jitter > 0:
+            amp = rng.uniform(1 - s.contrast_jitter, 1 + s.contrast_jitter, size=(n, 1, 1, 1))
+            x = x * amp[rows]
+        if s.noise_std > 0 and k:
+            # Stream the full-corpus noise tensor chunk by chunk, keeping
+            # only the selected rows (float64, matching the eager draw's
+            # dtype promotion). Draws after the last selected row never
+            # influence the output, so the stream stops there.
+            order = np.argsort(rows, kind="stable")
+            sorted_rows = rows[order]
+            per_image = s.channels * s.image_size * s.image_size
+            chunk = max(1, chunk_elems // per_image)
+            noise = np.empty((k, s.channels, s.image_size, s.image_size), dtype=np.float64)
+            lo = 0
+            for start in range(0, int(sorted_rows[-1]) + 1, chunk):
+                stop = min(start + chunk, n)
+                block = rng.standard_normal(
+                    (stop - start, s.channels, s.image_size, s.image_size)
+                )
+                hi = int(np.searchsorted(sorted_rows, stop, side="left"))
+                if hi > lo:
+                    noise[order[lo:hi]] = block[sorted_rows[lo:hi] - start]
+                lo = hi
+            x = x + noise * s.noise_std
+        return ArrayDataset(x.astype(np.float32), y[rows])
+
     def sample(
         self,
         n: int,
@@ -139,12 +240,7 @@ class SyntheticImageDataset:
         s = self.spec
         rng = new_rng(self.seed, "data", seed + 1)
         if labels is None:
-            if class_probs is None:
-                y = rng.integers(0, s.num_classes, size=n)
-            else:
-                p = np.asarray(class_probs, dtype=np.float64)
-                p = p / p.sum()
-                y = rng.choice(s.num_classes, size=n, p=p)
+            y = self._draw_labels(rng, n, class_probs)
         else:
             y = np.asarray(labels, dtype=np.int64)
             if len(y) != n:

@@ -118,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="buffered: evict updates staler than this many server versions "
         "(default: $REPRO_MAX_STALENESS or never)",
     )
+    sc = p.add_argument_group("population scale")
+    sc.add_argument(
+        "--lazy-data",
+        action="store_true",
+        help="build federations lazily: client shards materialize on demand, "
+        "one round's cohort at a time, bit-identical to the eager builder "
+        "(default: $REPRO_LAZY_DATA)",
+    )
+    sc.add_argument(
+        "--max-cohort",
+        type=int,
+        default=None,
+        help="hard cap on the per-round cohort regardless of population size "
+        "(trajectory-shaping; default: $REPRO_MAX_COHORT or uncapped)",
+    )
     ck = p.add_argument_group("durability (checkpoint / resume)")
     ck.add_argument(
         "--checkpoint-dir",
@@ -221,6 +236,10 @@ def main(argv: "list[str] | None" = None) -> int:
         os.environ["REPRO_STALENESS_ALPHA"] = str(args.staleness_alpha)
     if args.max_staleness is not None:
         os.environ["REPRO_MAX_STALENESS"] = str(args.max_staleness)
+    if args.lazy_data:
+        os.environ["REPRO_LAZY_DATA"] = "1"
+    if args.max_cohort is not None:
+        os.environ["REPRO_MAX_COHORT"] = str(args.max_cohort)
     if args.checkpoint_dir is not None:
         os.environ["REPRO_CHECKPOINT_DIR"] = str(args.checkpoint_dir)
     if args.checkpoint_every is not None:

@@ -177,7 +177,10 @@ def runtime_defaults() -> dict:
     fields ``aggregation`` / ``buffer_size`` / ``staleness_alpha`` /
     ``max_staleness``; ``REPRO_DEFENSE`` (robust-aggregation spec, e.g.
     ``"trimmed=0.3"``) and ``REPRO_NORM_CEILING`` (float) map onto the
-    Byzantine-robustness fields ``defense`` / ``norm_ceiling``. The CLI's
+    Byzantine-robustness fields ``defense`` / ``norm_ceiling``;
+    ``REPRO_MAX_COHORT`` (int, trajectory-shaping per-round cohort cap) and
+    ``REPRO_STATE_RESIDENCY`` (int, per-client state kept in RAM before
+    spilling) map onto ``max_cohort`` / ``state_residency``. The CLI's
     ``--workers/--executor/--faults/--defense/--norm-ceiling/
     --deadline/--aggregation/--buffer-size/--staleness-alpha/
     --max-staleness`` flags set these variables so one invocation
@@ -215,7 +218,28 @@ def runtime_defaults() -> dict:
     max_staleness = os.environ.get("REPRO_MAX_STALENESS")
     if max_staleness:
         out["max_staleness"] = int(max_staleness)
+    max_cohort = os.environ.get("REPRO_MAX_COHORT")
+    if max_cohort:
+        out["max_cohort"] = int(max_cohort)
+    state_residency = os.environ.get("REPRO_STATE_RESIDENCY")
+    if state_residency:
+        out["state_residency"] = int(state_residency)
     return out
+
+
+def lazy_data_enabled() -> bool:
+    """Whether federations should be built lazily (``REPRO_LAZY_DATA``).
+
+    The CLI's ``--lazy-data`` flag sets the variable; lazy and eager
+    builders produce bit-identical client shards (property-tested), so
+    this toggles memory behavior, never results.
+    """
+    return os.environ.get("REPRO_LAZY_DATA", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 def checkpoint_defaults() -> dict:

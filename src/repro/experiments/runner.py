@@ -13,12 +13,14 @@ from typing import Callable
 
 from repro.core import FedKEMF, local_model_builders, plan_multi_model
 from repro.data.federated import FederatedDataset, build_federated_dataset
+from repro.data.lazy import LazyFederatedDataset
 from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
 from repro.experiments.configs import (
     CLIENT_SETTINGS,
     Scale,
     checkpoint_defaults,
     get_scale,
+    lazy_data_enabled,
     runtime_defaults,
 )
 from repro.fl.algorithms import ALGORITHM_REGISTRY, FLConfig
@@ -105,9 +107,14 @@ class ExperimentRunner:
         return self._worlds[key]
 
     def fed(self, dataset: str, num_clients: int, alpha: float, seed: int = 0) -> FederatedDataset:
-        key = (dataset.lower(), num_clients, round(alpha, 4), seed)
+        # The lazy flag is part of the cache key: toggling REPRO_LAZY_DATA
+        # mid-process must not hand back a stale eager federation (the two
+        # are bit-identical in content, but wildly different in residency).
+        lazy = lazy_data_enabled()
+        key = (dataset.lower(), num_clients, round(alpha, 4), seed, lazy)
         if key not in self._feds:
-            self._feds[key] = build_federated_dataset(
+            builder = LazyFederatedDataset if lazy else build_federated_dataset
+            self._feds[key] = builder(
                 self.world(dataset, seed),
                 num_clients=num_clients,
                 n_train=self.scale.n_train,

@@ -48,6 +48,7 @@ from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.metrics import average_local_accuracy, evaluate_model
 from repro.fl.robust import parse_defense, validate_update
 from repro.fl.sampler import ClientSampler
+from repro.fl.state_store import LazyFactoryBank
 from repro.fl.trainer import LocalTrainer, train_stacked
 from repro.nn.batched import build_stacked
 from repro.nn.module import Module
@@ -125,6 +126,9 @@ class FLConfig:
     # Byzantine robustness (repro.fl.robust)
     defense: str | None = None  # mean | clip[=tau] | autoclip | trimmed[=beta] | median | krum[=f]
     norm_ceiling: float | None = None  # validate_update: reject state deltas above this L2 norm
+    # population scale (repro.data.lazy / repro.fl.state_store)
+    max_cohort: int | None = None  # hard cap on the per-round cohort (trajectory-shaping)
+    state_residency: int | None = None  # per-client state kept in RAM; excess spills to disk
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -163,6 +167,12 @@ class FLConfig:
             raise ValueError(f"max_staleness must be >= 0; got {self.max_staleness}")
         if self.norm_ceiling is not None and self.norm_ceiling <= 0:
             raise ValueError(f"norm_ceiling must be positive; got {self.norm_ceiling}")
+        if self.max_cohort is not None and self.max_cohort < 1:
+            raise ValueError(f"max_cohort must be >= 1; got {self.max_cohort}")
+        if self.state_residency is not None and self.state_residency < 1:
+            raise ValueError(
+                f"state_residency must be >= 1; got {self.state_residency}"
+            )
         parse_fault_spec(self.faults)  # raises on a malformed spec string
         parse_defense(self.defense)  # raises on a malformed defense spec
 
@@ -205,23 +215,23 @@ class FLAlgorithm:
 
         self.meter = CommMeter()
         self.channel = Channel(self.meter, codec=make_codec(config.compression))
-        self.sampler = ClientSampler(fed.num_clients, config.sample_ratio, config.seed)
+        self.sampler = ClientSampler(
+            fed.num_clients,
+            config.sample_ratio,
+            config.seed,
+            max_cohort=config.max_cohort,
+        )
         self.runtime = runtime if runtime is not None else FLRuntime.from_config(config, fed)
         self.global_model = model_fn()
         # One reusable scratch model per algorithm run: each client loads
         # its state into it, trains, uploads — avoids N re-constructions.
         self._scratch = model_fn()
-        self.trainers = [
-            LocalTrainer(
-                ds,
-                batch_size=config.batch_size,
-                lr=config.lr,
-                momentum=config.momentum,
-                weight_decay=config.weight_decay,
-                seed=config.seed * 7919 + i,
-            )
-            for i, ds in enumerate(fed.client_train)
-        ]
+        # Trainers are built on demand: :meth:`make_trainer` is pure in the
+        # client id, so a million-client federation holds only the touched
+        # cohort's trainers (and, under a lazy federation, only the cohort's
+        # data shards — see _prefetch_clients). Indexing and iteration keep
+        # the old ``list[LocalTrainer]`` surface.
+        self.trainers = LazyFactoryBank(self.make_trainer, fed.num_clients)
         self._last_outcome: "RoundOutcome | None" = None
         # Buffered (FedBuff-style) server regime: the event queue of
         # in-flight updates. None under synchronous aggregation. The base
@@ -245,6 +255,23 @@ class FLAlgorithm:
 
     def setup(self) -> None:
         """Algorithm-specific state initialization (control variates, ...)."""
+
+    def make_trainer(self, cid: int) -> LocalTrainer:
+        """Construct client ``cid``'s local trainer.
+
+        Must be pure in ``cid`` (given fixed config/seed): trainers are
+        built lazily and may be dropped and rebuilt between rounds, so any
+        per-client customization (SCAFFOLD zeroes momentum) belongs here,
+        not in a post-hoc mutation loop over ``self.trainers``.
+        """
+        return LocalTrainer(
+            self.fed.client_train[cid],
+            batch_size=self.cfg.batch_size,
+            lr=self.cfg.lr,
+            momentum=self.cfg.momentum,
+            weight_decay=self.cfg.weight_decay,
+            seed=self.cfg.seed * 7919 + cid,
+        )
 
     # adversary / defense ------------------------------------------------ #
 
@@ -280,6 +307,27 @@ class FLAlgorithm:
         if trainer is not None:
             return trainer
         return self._make_labelflip_trainer(cid)
+
+    def _prefetch_clients(self, round_idx: int, active: "list[int]") -> None:
+        """Bound resident per-client state to this round's cohort.
+
+        Under a lazy federation (one exposing ``prefetch``) the cohort's
+        data shards are materialized in a single streaming pass and
+        everything outside the cohort is evicted; cached trainers (honest
+        and flipped-label clones) over evicted shards are dropped too, so
+        they stop pinning the arrays. Construction purity makes all of this
+        invisible to the trajectory — a rebuilt shard/trainer is bitwise
+        the evicted one. Eager federations skip the hook entirely, keeping
+        the legacy keep-everything behavior.
+        """
+        prefetch = getattr(self.fed, "prefetch", None)
+        if prefetch is None:
+            return
+        prefetch(active)
+        keep = set(active)
+        self.trainers.retain(keep)
+        for cid in [c for c in self._labelflip_trainers if c not in keep]:
+            del self._labelflip_trainers[cid]
 
     def _prepare_attack_state(self, round_idx: int, active: "list[int]") -> None:
         """Parent-side prebuild of per-client adversarial state.
@@ -350,7 +398,7 @@ class FLAlgorithm:
         return ClientUpdate(
             client_id=cid,
             states={"state": self._scratch.state_dict()},
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
         )
@@ -383,7 +431,7 @@ class FLAlgorithm:
                 continue
             if self.runtime.attack_role(round_idx, cid) == LABELFLIP:
                 continue  # trains a flipped-label view: serial client_work path
-            shard = len(self.fed.client_train[cid])
+            shard = self.fed.client_size(cid)
             groups.setdefault(shard, []).append((cid, payload))
         results: "dict[int, ClientUpdate]" = {}
         for shard, group in groups.items():
@@ -531,6 +579,7 @@ class FLAlgorithm:
             cid: "dropout" for cid in selected if decisions[cid].dropped
         }
         active = [cid for cid in selected if cid not in failures]
+        self._prefetch_clients(round_idx, active)
         self._prepare_attack_state(round_idx, active)
         tasks = [(cid, self.client_payload(round_idx, cid)) for cid in active]
         work = functools.partial(self.client_work, round_idx)
@@ -738,12 +787,15 @@ class FLAlgorithm:
 
         Two runs with the same fingerprint produce bit-identical histories;
         a checkpoint only resumes into an algorithm with a matching one.
-        Execution-only knobs (``workers`` / ``executor``) are excluded —
-        the parity guarantee makes backends interchangeable, so a run may
-        be resumed under a different worker count or on another machine.
+        Execution-only knobs (``workers`` / ``executor`` /
+        ``state_residency``) are excluded — the parity guarantee makes
+        backends interchangeable, so a run may be resumed under a different
+        worker count, a different spill budget, or on another machine.
+        ``max_cohort`` stays in: capping the cohort changes which clients
+        train, hence the trajectory.
         """
         cfg = dataclasses.asdict(self.cfg)
-        for execution_only in ("workers", "executor"):
+        for execution_only in ("workers", "executor", "state_residency"):
             cfg.pop(execution_only, None)
         payload = {
             "algorithm": self.name,
@@ -812,6 +864,8 @@ class FLAlgorithm:
         checkpoint_every: int = 1,
         checkpoint_name: "str | None" = None,
         resume_from: "RunCheckpoint | str | pathlib.Path | bool | None" = None,
+        history_stream: "str | pathlib.Path | None" = None,
+        history_keep_records: int = 8,
     ) -> RunHistory:
         """Execute the round loop and return the measured history.
 
@@ -838,6 +892,15 @@ class FLAlgorithm:
             uses). Because every stochastic stream is pure in
             ``(seed, round, client)``, an interrupted-and-resumed faulty
             run replays bit-identically to an uninterrupted one.
+        history_stream:
+            When set, the history streams every round record to this JSONL
+            file and keeps only the last ``history_keep_records`` records
+            in RAM (see :meth:`RunHistory.stream_to`) — multi-thousand-
+            round runs hold O(1) records resident while ``fingerprint()``
+            and checkpoints stay identical to an unstreamed run. On resume
+            the sink is rewritten from the restored history.
+        history_keep_records:
+            In-RAM tail length when streaming (≥ 1).
         """
         rounds = rounds if rounds is not None else self.cfg.rounds
         if checkpoint_every < 1:
@@ -878,17 +941,22 @@ class FLAlgorithm:
             "defense": self.cfg.defense,
             "norm_ceiling": self.cfg.norm_ceiling,
         }
+        if history_stream is not None:
+            history.stream_to(history_stream, keep_records=history_keep_records)
         # Executors are context managers: pooled workers are released even
         # when a round raises; pools re-arm lazily, so a later run() just
         # forks fresh ones.
-        with self.runtime.executor:
-            self._run_rounds(
-                rounds,
-                history,
-                start_round=start_round,
-                checkpoint_path=ckpt_path,
-                checkpoint_every=checkpoint_every,
-            )
+        try:
+            with self.runtime.executor:
+                self._run_rounds(
+                    rounds,
+                    history,
+                    start_round=start_round,
+                    checkpoint_path=ckpt_path,
+                    checkpoint_every=checkpoint_every,
+                )
+        finally:
+            history.close_stream()
         return history
 
     @staticmethod

@@ -31,6 +31,7 @@ from repro.core.distill import DistillConfig, distill_from_teacher_logits
 from repro.core.ensemble import EnsembleModule, member_logits
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm, FLConfig, ModelFn
+from repro.fl.state_store import ClientModelBank
 from repro.nn.module import Module
 from repro.runtime.executors import ClientUpdate
 from repro.runtime.runtime import FLRuntime
@@ -68,7 +69,14 @@ class FedMD(FLAlgorithm):
         super().__init__(model_fn, fed, config, runtime=runtime)
 
     def setup(self) -> None:
-        self.client_models: list[Module] = [fn() for fn in self._local_model_fns]
+        # Persistent client models behind a lazy bank: constructed on first
+        # touch, and with cfg.state_residency set only that many stay live
+        # (evicted weights park in a spill-capable store). Committee
+        # evaluation still materializes every member, so FedMD's eval path
+        # remains O(num_clients) — the bank bounds *training* residency.
+        self.client_models = ClientModelBank(
+            self._local_model_fns, resident_limit=self.cfg.state_residency
+        )
         self._digest_config = DistillConfig(
             epochs=self.cfg.distill_epochs,
             lr=self.cfg.distill_lr,
@@ -85,15 +93,17 @@ class FedMD(FLAlgorithm):
     def server_state(self) -> dict:
         state = super().server_state()  # buffered-regime buffer, when active
         state.update(
-            client_models=[m.state_dict() for m in self.client_models],
+            # Touched clients only ({cid: state_dict}); untouched models
+            # are their deterministic fresh init.
+            client_models=self.client_models.export_states(),
             consensus=self.consensus.copy(),
         )
         return state
 
     def load_server_state(self, state: dict) -> None:
         super().load_server_state(state)
-        for model, weights in zip(self.client_models, state["client_models"]):
-            model.load_state_dict(weights)
+        # Accepts the dict-of-touched format and the legacy all-clients list.
+        self.client_models.load_states(state["client_models"])
         self.consensus = np.asarray(state["consensus"], dtype=np.float32).copy()
 
     def client_payload(self, round_idx: int, cid: int) -> dict:
@@ -116,14 +126,14 @@ class FedMD(FLAlgorithm):
         return ClientUpdate(
             client_id=cid,
             states={"scores": OrderedDict(scores=scores.astype(np.float32))},
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
             local_state=model.state_dict(),
         )
 
     def apply_client_update(self, update: ClientUpdate) -> None:
-        self.client_models[update.client_id].load_state_dict(update.local_state)
+        self.client_models.load_state(update.client_id, update.local_state)
 
     def _consensus_from(self, uploads, base_weights) -> np.ndarray:
         """Fuse client logit tables into the consensus. The (M, N, C)
@@ -157,9 +167,9 @@ class FedMD(FLAlgorithm):
 
     def evaluation_model(self) -> Module:
         """System accuracy = the committee of all client models."""
-        return EnsembleModule(self.client_models, strategy="mean")
+        return EnsembleModule(list(self.client_models), strategy="mean")
 
-    def local_models_for_eval(self) -> "list[Module]":
+    def local_models_for_eval(self) -> "ClientModelBank":
         return self.client_models
 
 

@@ -61,7 +61,7 @@ class FedNova(FLAlgorithm):
         return ClientUpdate(
             client_id=cid,
             states={"state": y_state, "delta": d},
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
             extra={"tau": float(tau)},

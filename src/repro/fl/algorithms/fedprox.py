@@ -41,7 +41,7 @@ class FedProx(FedAvg):
         return ClientUpdate(
             client_id=cid,
             states={"state": self._scratch.state_dict()},
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
         )

@@ -23,6 +23,8 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.fl.algorithms.base import ALGORITHM_REGISTRY, FLAlgorithm
+from repro.fl.state_store import ClientStateStore
+from repro.fl.trainer import LocalTrainer
 from repro.nn.module import Module
 from repro.runtime.executors import ClientUpdate
 
@@ -42,12 +44,21 @@ class Scaffold(FLAlgorithm):
 
     def setup(self) -> None:
         self.server_control = _zeros_like_params(self.global_model)
-        self.client_controls: dict[int, OrderedDict] = {}
+        # Controls are touched-clients-only and live behind a spill-capable
+        # store: with cfg.state_residency set, only that many stay in RAM
+        # and the LRU overflow is pickled to scratch disk — values
+        # round-trip bit-exactly, so residency never shapes the trajectory.
+        self.client_controls = ClientStateStore(
+            resident_limit=self.cfg.state_residency
+        )
+
+    def make_trainer(self, cid: int) -> LocalTrainer:
         # The SCAFFOLD analysis assumes plain SGD local steps; heavy-ball
         # momentum compounds the control correction and diverges, so the
         # local solver runs momentum-free regardless of the shared config.
-        for tr in self.trainers:
-            tr.momentum = 0.0
+        trainer = super().make_trainer(cid)
+        trainer.momentum = 0.0
+        return trainer
 
     def server_state(self) -> dict:
         state = super().server_state()  # buffered-regime buffer, when active
@@ -57,7 +68,7 @@ class Scaffold(FLAlgorithm):
             ),
             client_controls={
                 cid: OrderedDict((k, v.copy()) for k, v in c.items())
-                for cid, c in self.client_controls.items()
+                for cid, c in self.client_controls.export().items()
             },
         )
         return state
@@ -67,10 +78,12 @@ class Scaffold(FLAlgorithm):
         self.server_control = OrderedDict(
             (k, v.copy()) for k, v in state["server_control"].items()
         )
-        self.client_controls = {
-            int(cid): OrderedDict((k, v.copy()) for k, v in c.items())
-            for cid, c in state["client_controls"].items()
-        }
+        self.client_controls.load(
+            {
+                int(cid): OrderedDict((k, v.copy()) for k, v in c.items())
+                for cid, c in state["client_controls"].items()
+            }
+        )
 
     def _control_for(self, cid: int) -> OrderedDict:
         if cid not in self.client_controls:
@@ -138,7 +151,7 @@ class Scaffold(FLAlgorithm):
                     (k, v.astype(np.float32)) for k, v in delta_c.items()
                 ),
             },
-            weight=float(len(self.fed.client_train[cid])),
+            weight=float(self.fed.client_size(cid)),
             steps=stats.steps,
             stats=stats,
             extra={"new_control": new_c},

@@ -4,6 +4,17 @@ The experiment harness turns these series into the paper's tables and
 figures, so the record captures exactly the measured axes: global accuracy,
 cumulative communication bytes, and (for multi-model runs) average local
 accuracy.
+
+For multi-thousand-round runs the in-memory record list is itself a scale
+liability, so a history can be attached to a **streaming JSONL sink**
+(:meth:`RunHistory.stream_to`): every appended record is written as one
+JSON line and the in-RAM list is trimmed to a short tail, keeping resident
+records O(1) in the round count. The sink is transparent — aggregate
+series (``accuracies``, ``participation``, …) re-read the file, and
+:meth:`fingerprint` is maintained incrementally so it is byte-for-byte the
+same hash an unstreamed history would produce. Stream files round-trip via
+:meth:`RunHistory.from_jsonl`, which raises :class:`HistoryStreamError`
+(not bare ``json`` errors) on truncated or corrupt files.
 """
 
 from __future__ import annotations
@@ -11,10 +22,18 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["RoundRecord", "RunHistory"]
+__all__ = ["RoundRecord", "RunHistory", "HistoryStreamError"]
+
+_STREAM_FORMAT = "repro-history-jsonl"
+_STREAM_VERSION = 1
+
+
+class HistoryStreamError(RuntimeError):
+    """A streamed history file is unreadable, truncated, or corrupt."""
 
 
 @dataclass
@@ -53,6 +72,51 @@ class RoundRecord:
     buffer_len: int = 0
 
 
+def _round_to_dict(r: RoundRecord) -> dict:
+    return {
+        "round": r.round_idx,
+        "accuracy": r.accuracy,
+        "loss": r.loss,
+        "cum_bytes": int(r.cum_bytes),
+        "round_bytes": int(r.round_bytes),
+        "num_selected": r.num_selected,
+        "local_accuracy": r.local_accuracy,
+        "wall_time": r.wall_time,
+        "num_sampled": r.num_sampled,
+        "num_failed": r.num_failed,
+        "failures": {str(cid): reason for cid, reason in r.failures.items()},
+        "sim_time_s": r.sim_time_s,
+        "staleness": {str(s): n for s, n in r.staleness.items()},
+        "buffer_len": r.buffer_len,
+    }
+
+
+def _record_from_dict(r: dict) -> RoundRecord:
+    return RoundRecord(
+        round_idx=r["round"],
+        accuracy=r["accuracy"],
+        loss=r["loss"],
+        cum_bytes=r["cum_bytes"],
+        round_bytes=r["round_bytes"],
+        num_selected=r["num_selected"],
+        local_accuracy=r.get("local_accuracy"),
+        wall_time=r.get("wall_time", 0.0),
+        num_sampled=r.get("num_sampled"),
+        num_failed=r.get("num_failed", 0),
+        failures={int(cid): reason for cid, reason in r.get("failures", {}).items()},
+        sim_time_s=r.get("sim_time_s", 0.0),
+        staleness={int(s): n for s, n in r.get("staleness", {}).items()},
+        buffer_len=r.get("buffer_len", 0),
+    )
+
+
+def _fingerprint_record_bytes(round_dict: dict) -> bytes:
+    """One round's contribution to the fingerprint payload (wall-clock
+    durations are machine noise, excluded from the determinism contract)."""
+    trimmed = {k: v for k, v in round_dict.items() if k != "wall_time"}
+    return json.dumps(trimmed, sort_keys=True).encode("utf-8")
+
+
 @dataclass
 class RunHistory:
     """Accuracy / communication series for one FL run."""
@@ -64,31 +128,160 @@ class RunHistory:
     records: list[RoundRecord] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._sink_path: Path | None = None
+        self._sink_file = None
+        self._keep_records: int = 1
+        self._streamed: int = 0  # records written to the sink so far
+        self._digest: "hashlib._Hash | None" = None
+        self._last_round: int | None = (
+            self.records[-1].round_idx if self.records else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+
     def append(self, record: RoundRecord) -> None:
-        if self.records and record.round_idx != self.records[-1].round_idx + 1:
+        if self._last_round is not None and record.round_idx != self._last_round + 1:
             raise ValueError("round records must be appended sequentially")
         self.records.append(record)
+        self._last_round = record.round_idx
+        if self._sink_path is not None:
+            self._write_record(record)
+            del self.records[: max(0, len(self.records) - self._keep_records)]
+
+    # ------------------------------------------------------------------ #
+    # streaming sink
+    # ------------------------------------------------------------------ #
+
+    @property
+    def streaming(self) -> bool:
+        """Whether a JSONL sink is attached."""
+        return self._sink_path is not None
+
+    def stream_to(self, path, keep_records: int = 8) -> "RunHistory":
+        """Attach a streaming JSONL sink at ``path``.
+
+        The file is (re)written from scratch — a header line carrying the
+        run identity, then one line per already-appended record — and every
+        subsequent :meth:`append` adds one line and trims the in-RAM list
+        to the last ``keep_records`` records. Re-attaching after a resume
+        therefore rewrites the sink to match the restored history exactly.
+
+        The header snapshots ``meta`` at attach time; later ``meta``
+        mutations stay in-memory only (``meta`` is outside the fingerprint
+        contract). Returns ``self`` for chaining.
+        """
+        if keep_records < 1:
+            raise ValueError(f"keep_records must be >= 1; got {keep_records}")
+        self.close_stream()
+        sink = Path(path)
+        sink.parent.mkdir(parents=True, exist_ok=True)
+        handle = sink.open("w", encoding="utf-8")
+        header = {
+            "format": _STREAM_FORMAT,
+            "version": _STREAM_VERSION,
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "num_clients": self.num_clients,
+            "sample_ratio": self.sample_ratio,
+            "meta": dict(self.meta),
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        # Incremental fingerprint: feed the exact byte stream that
+        # json.dumps(payload, sort_keys=True) would produce for the
+        # unstreamed history — the sorted payload keys put "rounds" between
+        # "num_clients" and "sample_ratio", so the head/records/tail split
+        # is compositional.
+        head = json.dumps(
+            {
+                "algorithm": self.algorithm,
+                "model": self.model,
+                "num_clients": self.num_clients,
+            },
+            sort_keys=True,
+        )
+        digest = hashlib.sha256()
+        digest.update(head[:-1].encode("utf-8"))
+        digest.update(b', "rounds": [')
+        self._sink_path = sink
+        self._sink_file = handle
+        self._keep_records = int(keep_records)
+        self._streamed = 0
+        self._digest = digest
+        backlog = list(self.records)
+        for record in backlog:
+            self._write_record(record)
+        del self.records[: max(0, len(self.records) - self._keep_records)]
+        handle.flush()
+        return self
+
+    def close_stream(self) -> None:
+        """Flush and close the sink file handle. The history stays in
+        streaming mode (series re-read the file; the incremental
+        fingerprint survives); only appending would reopen the file."""
+        if self._sink_file is not None:
+            self._sink_file.flush()
+            self._sink_file.close()
+            self._sink_file = None
+
+    def _write_record(self, record: RoundRecord) -> None:
+        if self._sink_file is None:  # reattach after close_stream()
+            self._sink_file = self._sink_path.open("a", encoding="utf-8")
+        round_dict = _round_to_dict(record)
+        self._sink_file.write(json.dumps(round_dict, sort_keys=True) + "\n")
+        self._sink_file.flush()
+        if self._streamed:
+            self._digest.update(b", ")
+        self._digest.update(_fingerprint_record_bytes(round_dict))
+        self._streamed += 1
+
+    def iter_records(self):
+        """Iterate every round record, oldest first. In streaming mode the
+        already-flushed prefix is re-read from the sink file so the full
+        series never has to be RAM-resident at once."""
+        if self._sink_path is None:
+            yield from self.records
+            return
+        if self._sink_file is not None:
+            self._sink_file.flush()
+        tail_start = self._streamed - len(self.records)
+        with self._sink_path.open("r", encoding="utf-8") as f:
+            next(f)  # header line
+            for i, line in enumerate(f):
+                if i >= tail_start:
+                    break
+                yield _record_from_dict(json.loads(line))
+        yield from self.records
+
+    # ------------------------------------------------------------------ #
+    # series
+    # ------------------------------------------------------------------ #
 
     @property
     def num_rounds(self) -> int:
-        return len(self.records)
+        return self._streamed if self._sink_path is not None else len(self.records)
 
     @property
     def accuracies(self) -> np.ndarray:
-        return np.array([r.accuracy for r in self.records])
+        return np.array([r.accuracy for r in self.iter_records()])
 
     @property
     def losses(self) -> np.ndarray:
-        return np.array([r.loss for r in self.records])
+        return np.array([r.loss for r in self.iter_records()])
 
     @property
     def cum_bytes(self) -> np.ndarray:
-        return np.array([r.cum_bytes for r in self.records], dtype=np.int64)
+        return np.array([r.cum_bytes for r in self.iter_records()], dtype=np.int64)
 
     @property
     def local_accuracies(self) -> np.ndarray:
         return np.array(
-            [r.local_accuracy if r.local_accuracy is not None else np.nan for r in self.records]
+            [
+                r.local_accuracy if r.local_accuracy is not None else np.nan
+                for r in self.iter_records()
+            ]
         )
 
     @property
@@ -108,18 +301,18 @@ class RunHistory:
     @property
     def participation(self) -> np.ndarray:
         """Aggregated-client count per round."""
-        return np.array([r.num_selected for r in self.records], dtype=np.int64)
+        return np.array([r.num_selected for r in self.iter_records()], dtype=np.int64)
 
     @property
     def sim_times(self) -> np.ndarray:
         """Virtual-clock round times (seconds)."""
-        return np.array([r.sim_time_s for r in self.records])
+        return np.array([r.sim_time_s for r in self.iter_records()])
 
     @property
     def buffer_occupancy(self) -> np.ndarray:
         """Server-buffer occupancy after each round's aggregation (all
         zeros for synchronous runs)."""
-        return np.array([r.buffer_len for r in self.records], dtype=np.int64)
+        return np.array([r.buffer_len for r in self.iter_records()], dtype=np.int64)
 
     def total_failures(self) -> dict:
         """Failure counts across the run, keyed by reason, in the
@@ -127,7 +320,7 @@ class RunHistory:
         from repro.runtime.runtime import ordered_failure_counts
 
         return ordered_failure_counts(
-            reason for r in self.records for reason in r.failures.values()
+            reason for r in self.iter_records() for reason in r.failures.values()
         )
 
     def staleness_histogram(self) -> dict:
@@ -137,24 +330,31 @@ class RunHistory:
         sorted ascending; a synchronous run has only key 0.
         """
         counts: dict[int, int] = {}
-        for r in self.records:
+        for r in self.iter_records():
             for s, n in r.staleness.items():
                 counts[int(s)] = counts.get(int(s), 0) + int(n)
         return {s: counts[s] for s in sorted(counts)}
 
     def bytes_at_round(self, round_1based: int) -> int:
         """Cumulative traffic after ``round_1based`` rounds."""
-        if not 1 <= round_1based <= len(self.records):
-            raise IndexError(f"round {round_1based} outside history of {len(self.records)}")
-        return int(self.records[round_1based - 1].cum_bytes)
+        if not 1 <= round_1based <= self.num_rounds:
+            raise IndexError(f"round {round_1based} outside history of {self.num_rounds}")
+        for r in self.iter_records():
+            if r.round_idx == round_1based:
+                return int(r.cum_bytes)
+        raise IndexError(f"round {round_1based} missing from history")
 
     def round_cost_per_client_mb(self) -> float:
         """Mean per-round, per-selected-client traffic in MB — the paper's
         'Round/Client' column."""
-        if not self.records:
+        per = [r.round_bytes / max(r.num_selected, 1) for r in self.iter_records()]
+        if not per:
             return 0.0
-        per = [r.round_bytes / max(r.num_selected, 1) for r in self.records]
         return float(np.mean(per)) / 1e6
+
+    # ------------------------------------------------------------------ #
+    # identity / serialization
+    # ------------------------------------------------------------------ #
 
     def fingerprint(self) -> str:
         """Content hash over everything a resumed run must reproduce.
@@ -163,8 +363,15 @@ class RunHistory:
         vary between machines and between a straight-through run and a
         kill-and-resume run; neither is part of the determinism contract,
         so both are excluded. Two histories with the same fingerprint made
-        the same measurements round for round.
+        the same measurements round for round. Streamed histories maintain
+        the digest incrementally over the same byte stream, so streaming
+        never changes the fingerprint.
         """
+        if self._digest is not None:
+            digest = self._digest.copy()
+            tail = "], \"sample_ratio\": " + json.dumps(self.sample_ratio) + "}"
+            digest.update(tail.encode("utf-8"))
+            return digest.hexdigest()[:16]
         payload = self.to_dict()
         payload.pop("meta", None)
         for r in payload["rounds"]:
@@ -185,53 +392,92 @@ class RunHistory:
             meta=dict(raw.get("meta", {})),
         )
         for r in raw.get("rounds", []):
-            history.append(
-                RoundRecord(
-                    round_idx=r["round"],
-                    accuracy=r["accuracy"],
-                    loss=r["loss"],
-                    cum_bytes=r["cum_bytes"],
-                    round_bytes=r["round_bytes"],
-                    num_selected=r["num_selected"],
-                    local_accuracy=r.get("local_accuracy"),
-                    wall_time=r.get("wall_time", 0.0),
-                    num_sampled=r.get("num_sampled"),
-                    num_failed=r.get("num_failed", 0),
-                    failures={
-                        int(cid): reason for cid, reason in r.get("failures", {}).items()
-                    },
-                    sim_time_s=r.get("sim_time_s", 0.0),
-                    staleness={int(s): n for s, n in r.get("staleness", {}).items()},
-                    buffer_len=r.get("buffer_len", 0),
-                )
-            )
+            history.append(_record_from_dict(r))
         return history
 
+    @classmethod
+    def from_jsonl(cls, path) -> "RunHistory":
+        """Load a history from a streaming sink file.
+
+        Raises :class:`HistoryStreamError` — never a bare ``json`` or
+        ``KeyError`` — when the file is unreadable, has a bad header, or
+        carries truncated/corrupt record lines (a process killed mid-write
+        leaves a final line without its newline terminator; that tail is a
+        hard error, not silently dropped data).
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise HistoryStreamError(f"cannot read history stream {path}: {exc}") from exc
+        if not text:
+            raise HistoryStreamError(f"empty history stream: {path}")
+        if not text.endswith("\n"):
+            raise HistoryStreamError(
+                f"truncated history stream {path}: final line is missing its "
+                "newline terminator (process killed mid-write?)"
+            )
+        lines = text.splitlines()
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise HistoryStreamError(f"corrupt header line in {path}: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != _STREAM_FORMAT:
+            raise HistoryStreamError(
+                f"{path} is not a history stream (missing format marker "
+                f"{_STREAM_FORMAT!r})"
+            )
+        if header.get("version") != _STREAM_VERSION:
+            raise HistoryStreamError(
+                f"unsupported history stream version {header.get('version')!r} "
+                f"in {path} (supported: {_STREAM_VERSION})"
+            )
+        rounds = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                round_dict = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryStreamError(
+                    f"corrupt record at line {lineno} of {path}: {exc}"
+                ) from exc
+            if not isinstance(round_dict, dict) or "round" not in round_dict:
+                raise HistoryStreamError(
+                    f"corrupt record at line {lineno} of {path}: not a round object"
+                )
+            rounds.append(round_dict)
+        raw = {
+            "algorithm": header.get("algorithm"),
+            "model": header.get("model"),
+            "num_clients": header.get("num_clients"),
+            "sample_ratio": header.get("sample_ratio"),
+            "meta": header.get("meta", {}),
+            "rounds": rounds,
+        }
+        try:
+            return cls.from_dict(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HistoryStreamError(f"invalid history stream {path}: {exc}") from exc
+
     def to_dict(self) -> dict:
-        """Plain-dict export (JSON-serializable) for logging/analysis."""
+        """Plain-dict export (JSON-serializable) for logging/analysis.
+        Streamed histories re-read the sink so the export is complete."""
         return {
             "algorithm": self.algorithm,
             "model": self.model,
             "num_clients": self.num_clients,
             "sample_ratio": self.sample_ratio,
             "meta": dict(self.meta),
-            "rounds": [
-                {
-                    "round": r.round_idx,
-                    "accuracy": r.accuracy,
-                    "loss": r.loss,
-                    "cum_bytes": int(r.cum_bytes),
-                    "round_bytes": int(r.round_bytes),
-                    "num_selected": r.num_selected,
-                    "local_accuracy": r.local_accuracy,
-                    "wall_time": r.wall_time,
-                    "num_sampled": r.num_sampled,
-                    "num_failed": r.num_failed,
-                    "failures": {str(cid): reason for cid, reason in r.failures.items()},
-                    "sim_time_s": r.sim_time_s,
-                    "staleness": {str(s): n for s, n in r.staleness.items()},
-                    "buffer_len": r.buffer_len,
-                }
-                for r in self.records
-            ],
+            "rounds": [_round_to_dict(r) for r in self.iter_records()],
         }
+
+    def __getstate__(self) -> dict:
+        # Pickling a streamed history detaches it: open file handles and
+        # hashlib digests don't pickle, so materialize the full record list
+        # and hand over a plain in-memory history.
+        state = dict(self.__dict__)
+        state["records"] = list(self.iter_records())
+        state["_sink_path"] = None
+        state["_sink_file"] = None
+        state["_digest"] = None
+        state["_streamed"] = 0
+        return state

@@ -7,11 +7,43 @@ ratios from 0.4 to 1.0.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.utils.rng import new_rng
 
-__all__ = ["ClientSampler"]
+__all__ = ["ClientSampler", "cohort_size"]
+
+
+def cohort_size(num_clients: int, sample_ratio: float, max_cohort: int | None = None) -> int:
+    """Per-round cohort size: ``floor(num_clients * sample_ratio)``, at
+    least 1, optionally capped at ``max_cohort``.
+
+    Floor-with-minimum, not banker's rounding: ``round()`` rounds halves
+    to even (10 clients at ratio 0.25 would give 2, but 0.35 would give 4
+    while 0.45 gives 4 too), which makes cohort sizes jump unpredictably
+    as populations scale. Floor semantics are monotone in both arguments
+    and match the "at most ratio·n, never zero" reading of the paper's
+    sample-ratio knob. The epsilon absorbs float representation dips
+    (``0.7 * 30 == 20.999999999999996`` must floor to 21, not 20); an
+    exact ``.5`` product floors down.
+
+    ``max_cohort`` bounds the active cohort regardless of population —
+    the cross-device regime's "at most K devices per round" cap — so a
+    million-client federation at 5% sampling can still run with a 50k
+    ceiling on per-round work.
+    """
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ValueError(f"sample_ratio must be in (0, 1]; got {sample_ratio}")
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    n = max(1, int(math.floor(num_clients * sample_ratio + 1e-9)))
+    if max_cohort is not None:
+        if max_cohort < 1:
+            raise ValueError(f"max_cohort must be >= 1; got {max_cohort}")
+        n = min(n, max_cohort)
+    return min(n, num_clients)
 
 
 class ClientSampler:
@@ -20,9 +52,18 @@ class ClientSampler:
     Deterministic given (seed, round index): paired algorithm comparisons
     see identical client schedules, which removes sampling noise from the
     Table 1/2 deltas.
+
+    ``per_round`` follows :func:`cohort_size` (floor-with-minimum, capped
+    at ``max_cohort``).
     """
 
-    def __init__(self, num_clients: int, sample_ratio: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_clients: int,
+        sample_ratio: float,
+        seed: int = 0,
+        max_cohort: int | None = None,
+    ) -> None:
         if not 0.0 < sample_ratio <= 1.0:
             raise ValueError(f"sample_ratio must be in (0, 1]; got {sample_ratio}")
         if num_clients < 1:
@@ -30,7 +71,8 @@ class ClientSampler:
         self.num_clients = num_clients
         self.sample_ratio = sample_ratio
         self.seed = seed
-        self.per_round = max(1, int(round(num_clients * sample_ratio)))
+        self.max_cohort = max_cohort
+        self.per_round = cohort_size(num_clients, sample_ratio, max_cohort)
 
     def sample(self, round_idx: int) -> list[int]:
         """Client ids participating in ``round_idx`` (sorted)."""

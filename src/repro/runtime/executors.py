@@ -50,6 +50,17 @@ unpicklable result, a per-task timeout). Ordinary exceptions raised by the
 work function itself still propagate — those are programming errors, and
 masking them as client failures would hide real bugs.
 
+**Population-scale snapshots.** What the fork/pickle boundary actually
+ships is bounded by the federation flavor. An eager
+:class:`~repro.data.federated.FederatedDataset` carries every client's
+sample arrays into the snapshot. A lazy federation
+(:class:`~repro.data.lazy.LazyFederatedDataset`) pickles as its *recipe*
+(world spec + partition assignment, no shard arrays, no trainer caches) —
+each worker rematerializes the shards it is asked to train, bit-identically
+to the parent's, because materialization is pure in ``(seed, client)``.
+Workers therefore never receive pickled client data at scale, and the
+snapshot stays O(model + assignment) no matter the population.
+
 Like :mod:`repro.runtime.faults`, this module must not import
 :mod:`repro.fl` (the algorithm layer imports us).
 """

@@ -200,10 +200,18 @@ class FLRuntime:
         if (plan is not None and not spec.is_null) or deadline is not None:
             from repro.fl.devices import sample_device_profiles
 
-            sample, _label = fed.client_train[0][0]
+            # Both federation flavors expose sample_shape without touching
+            # a client shard (a lazy federation would otherwise have to
+            # materialize client 0 just to size the clock's batches); the
+            # getattr fallback keeps third-party duck-typed federations
+            # working.
+            shape = getattr(fed, "sample_shape", None)
+            if shape is None:
+                sample, _label = fed.client_train[0][0]
+                shape = sample.shape
             clock = VirtualClock(
                 profiles=sample_device_profiles(fed.num_clients, seed=cfg.seed),
-                batch_input_shape=(cfg.batch_size, *sample.shape),
+                batch_input_shape=(cfg.batch_size, *shape),
             )
         return cls(
             executor=make_executor(

@@ -1,10 +1,12 @@
 """Client sampling."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.fl.sampler import ClientSampler
+from repro.fl.sampler import ClientSampler, cohort_size
 
 
 class TestSampler:
@@ -57,3 +59,66 @@ class TestSampler:
         for r in range(50):
             seen.update(s.sample(r))
         assert seen == set(range(10))
+
+
+class TestCohortSize:
+    """Floor-with-minimum semantics (not banker's rounding)."""
+
+    def test_half_products_floor_down(self):
+        # round() would give 2 for both (halves round to even); floor gives
+        # the "at most ratio·n" reading consistently.
+        assert cohort_size(10, 0.25) == 2
+        assert cohort_size(10, 0.35) == 3
+        assert cohort_size(6, 0.25) == 1  # 1.5 floors to 1, round() gives 2
+        assert cohort_size(10, 0.45) == 4  # 4.5 floors to 4
+
+    def test_ratio_to_zero_keeps_one_client(self):
+        assert cohort_size(1_000_000, 1e-7) == 1
+        assert cohort_size(3, 0.01) == 1
+
+    def test_ratio_one_is_full_participation(self):
+        for n in (1, 7, 100, 12345):
+            assert cohort_size(n, 1.0) == n
+
+    def test_float_representation_dip(self):
+        # 0.7 * 30 == 20.999999999999996: the epsilon must absorb the dip
+        assert cohort_size(30, 0.7) == 21
+        assert cohort_size(50, 0.7) == 35
+
+    def test_max_cohort_caps_regardless_of_population(self):
+        assert cohort_size(1_000_000, 0.05) == 50_000
+        assert cohort_size(1_000_000, 0.05, max_cohort=10_000) == 10_000
+        assert cohort_size(10, 0.5, max_cohort=50_000) == 5  # cap above: no-op
+
+    def test_never_exceeds_population(self):
+        assert cohort_size(3, 1.0, max_cohort=100) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cohort_size(10, 0.0)
+        with pytest.raises(ValueError):
+            cohort_size(0, 0.5)
+        with pytest.raises(ValueError):
+            cohort_size(10, 0.5, max_cohort=0)
+
+    def test_sampler_uses_cohort_size(self):
+        s = ClientSampler(30, 0.7, seed=0, max_cohort=5)
+        assert s.per_round == 5
+        assert len(s.sample(0)) == 5
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 10_000), ratio=st.floats(1e-6, 1.0))
+    def test_property_floor_bounds(self, n, ratio):
+        k = cohort_size(n, ratio)
+        assert 1 <= k <= n
+        # never more than the true product rounded up (epsilon tolerance)
+        assert k <= math.floor(n * ratio + 1e-9) or k == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 1_000),
+        ratio_lo=st.floats(0.01, 0.5),
+        ratio_hi=st.floats(0.5, 1.0),
+    )
+    def test_property_monotone_in_ratio(self, n, ratio_lo, ratio_hi):
+        assert cohort_size(n, ratio_lo) <= cohort_size(n, ratio_hi)
